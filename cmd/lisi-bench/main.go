@@ -1,0 +1,83 @@
+// lisi-bench regenerates the CCA-LISI paper's evaluation artifacts:
+//
+//	lisi-bench -experiment table1          # Table 1 (PETSc-role, 8 procs, 5 sizes)
+//	lisi-bench -experiment fig5            # Figure 5 (3 solvers, P = 1,2,4,8)
+//	lisi-bench -experiment all             # both
+//	lisi-bench -experiment table1 -quick   # reduced sizes for a fast smoke run
+//
+// The -runs flag controls how many repetitions are averaged (the paper
+// used 10).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/mesh"
+)
+
+func main() {
+	experiment := flag.String("experiment", "all", "which experiment to run: table1, fig5, or all")
+	runs := flag.Int("runs", 3, "repetitions per measurement (mean is reported; the paper used 10)")
+	procs := flag.Int("procs", 8, "processor count for Table 1")
+	quick := flag.Bool("quick", false, "use reduced problem sizes for a fast smoke run")
+	grid := flag.Int("grid", 0, "override Figure 5 grid size n (0 = paper's n=200, nnz=199200)")
+	stat := flag.String("stat", "median", "aggregate repeated runs with \"median\" (robust) or \"mean\" (as the paper)")
+	flag.Parse()
+
+	switch *stat {
+	case "median":
+		bench.UseMedian = true
+	case "mean":
+		bench.UseMedian = false
+	default:
+		fmt.Fprintf(os.Stderr, "unknown stat %q (want mean or median)\n", *stat)
+		os.Exit(2)
+	}
+
+	switch *experiment {
+	case "table1", "fig5", "all":
+	default:
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (want table1, fig5, or all)\n", *experiment)
+		os.Exit(2)
+	}
+
+	params := bench.DefaultParams()
+
+	if *experiment == "table1" || *experiment == "all" {
+		nnzs := bench.PaperNNZs()
+		if *quick {
+			nnzs = []int{12300, 49600}
+		}
+		fmt.Printf("== Table 1: PETSc-role component, %d processors, %d run(s) averaged ==\n", *procs, *runs)
+		rows, err := bench.Table1(nnzs, *procs, *runs, params)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "table1: %v\n", err)
+			os.Exit(1)
+		}
+		bench.SortRows(rows)
+		fmt.Println(bench.FormatTable1(rows))
+	}
+
+	if *experiment == "fig5" || *experiment == "all" {
+		n := 200 // nnz = 199200, the paper's Figure 5 problem
+		if *grid > 0 {
+			n = *grid
+		}
+		if *quick {
+			n = 60
+		}
+		p := mesh.PaperProblem(n)
+		fmt.Printf("== Figure 5: grid %dx%d (nnz=%d), %d run(s) averaged ==\n", n, n, p.NNZ(), *runs)
+		for _, s := range bench.Solvers() {
+			pts, err := bench.Figure5(s, n, bench.PaperProcs(), *runs, params)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "figure5 %s: %v\n", s, err)
+				os.Exit(1)
+			}
+			fmt.Println(bench.FormatFigure5(s, pts))
+		}
+	}
+}

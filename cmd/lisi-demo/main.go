@@ -1,0 +1,185 @@
+// lisi-demo is the paper's Figure 4 demonstration binary: a driver
+// component connected through the LISI SparseSolver port to a selectable
+// solver component, with optional run-time swapping across all of them.
+//
+//	lisi-demo -procs 4 -grid 100 -solver petsc
+//	lisi-demo -procs 8 -grid 63 -solver all     # swap through every component
+//	lisi-demo -script assembly.cca              # Ccaffeine-style script wiring
+//
+// Solver names: petsc, trilinos, superlu, mg, all. A script must
+// instantiate a "driver" (class lisi.driver) and connect its "solver"
+// uses port to some solver component's SparseSolver port.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/cca"
+	"repro/internal/comm"
+	"repro/internal/core"
+	"repro/internal/mesh"
+)
+
+var classByName = map[string]string{
+	"petsc":    core.ClassKSPSolver,
+	"trilinos": core.ClassAztecSolver,
+	"superlu":  core.ClassSLUSolver,
+	"mg":       core.ClassMGSolver,
+}
+
+func main() {
+	procs := flag.Int("procs", 4, "simulated processor count")
+	grid := flag.Int("grid", 100, "grid size n (problem has n^2 unknowns)")
+	solver := flag.String("solver", "all", "petsc, trilinos, superlu, mg, or all")
+	tol := flag.Float64("tol", 1e-8, "iterative tolerance")
+	script := flag.String("script", "", "assemble components from a Ccaffeine-style script instead of -solver")
+	flag.Parse()
+
+	if *script != "" {
+		runScripted(*script, *procs, *grid, *tol)
+		return
+	}
+
+	var names []string
+	if *solver == "all" {
+		names = []string{"petsc", "trilinos", "superlu"}
+		if *grid%2 == 1 {
+			names = append(names, "mg")
+		}
+	} else if _, ok := classByName[*solver]; ok {
+		names = []string{*solver}
+	} else {
+		fmt.Fprintf(os.Stderr, "unknown solver %q\n", *solver)
+		os.Exit(2)
+	}
+	if contains(names, "mg") && *grid%2 == 0 {
+		fmt.Fprintln(os.Stderr, "the mg component needs an odd grid (ideally 2^k-1)")
+		os.Exit(2)
+	}
+
+	problem := mesh.PaperProblem(*grid)
+	world, err := comm.NewWorld(*procs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	err = world.Run(func(c *comm.Comm) {
+		fw := cca.NewFramework(c)
+		must(fw.CreateInstance("driver", core.ClassDriver))
+		for _, n := range names {
+			must(fw.CreateInstance(n, classByName[n]))
+		}
+		comp, err := fw.Instance("driver")
+		must(err)
+		driver := comp.(*core.DriverComponent)
+		if c.Rank() == 0 {
+			fmt.Printf("LISI demo: %dx%d grid (N=%d, nnz=%d) on %d ranks\n",
+				*grid, *grid, problem.N(), problem.NNZ(), *procs)
+			fmt.Printf("registered solver components: %v\n\n", cca.RegisteredClasses())
+		}
+		for _, n := range names {
+			params := paramsFor(n, *grid, *tol)
+			must(fw.Connect("driver", "solver", n, core.PortSparseSolver))
+			if c.Rank() == 0 {
+				fmt.Printf("wiring: %v\n", fw.Connections())
+			}
+			c.Barrier()
+			start := time.Now()
+			res, err := driver.SolveProblem(problem, core.CSR, params)
+			c.Barrier()
+			must(err)
+			must(fw.Disconnect("driver", "solver"))
+			if c.Rank() == 0 {
+				fmt.Printf("%-10s %8.3fs  iterations=%-5d residual=%.2e converged=%v\n\n",
+					n, time.Since(start).Seconds(), res.Iterations, res.Residual, res.Converged)
+			}
+		}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func paramsFor(name string, grid int, tol float64) map[string]string {
+	switch name {
+	case "petsc":
+		return map[string]string{"solver": "gmres", "preconditioner": "ilu",
+			"tol": fmt.Sprint(tol), "maxits": "20000"}
+	case "trilinos":
+		return map[string]string{"solver": "gmres", "preconditioner": "domdecomp",
+			"tol": fmt.Sprint(tol), "maxits": "20000"}
+	case "superlu":
+		return map[string]string{"ordering": "mmd", "refine_steps": "1"}
+	case "mg":
+		return map[string]string{"grid_n": fmt.Sprint(grid), "tol": fmt.Sprint(tol)}
+	}
+	return nil
+}
+
+func contains(xs []string, s string) bool {
+	for _, x := range xs {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+// runScripted assembles the components from a script file on every
+// rank's framework and drives one solve through whatever the script
+// connected.
+func runScripted(path string, procs, grid int, tol float64) {
+	text, err := os.ReadFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	problem := mesh.PaperProblem(grid)
+	world, err := comm.NewWorld(procs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	err = world.Run(func(c *comm.Comm) {
+		fw := cca.NewFramework(c)
+		if err := fw.ExecuteScript(strings.NewReader(string(text))); err != nil {
+			log.Fatal(err)
+		}
+		comp, err := fw.Instance("driver")
+		if err != nil {
+			log.Fatalf("script must instantiate a %q component: %v", "driver", err)
+		}
+		driver, ok := comp.(*core.DriverComponent)
+		if !ok {
+			log.Fatalf("instance %q is not a lisi.driver", "driver")
+		}
+		if c.Rank() == 0 {
+			fmt.Printf("scripted assembly:\n")
+			for _, conn := range fw.Connections() {
+				fmt.Printf("  %s\n", conn)
+			}
+		}
+		c.Barrier()
+		start := time.Now()
+		res, err := driver.SolveProblem(problem, core.CSR, map[string]string{"tol": fmt.Sprint(tol)})
+		c.Barrier()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if c.Rank() == 0 {
+			fmt.Printf("solved %dx%d grid in %.3fs: iterations=%d residual=%.2e\n",
+				grid, grid, time.Since(start).Seconds(), res.Iterations, res.Residual)
+		}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+}

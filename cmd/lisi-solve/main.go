@@ -1,0 +1,185 @@
+// lisi-solve solves a sparse linear system read from files through a
+// LISI solver component — the adoption path for systems that did not
+// come from this repository's mesh generator.
+//
+//	lisi-solve -matrix A.mtx -rhs b.vec -solver petsc -set tol=1e-10 -set preconditioner=ilu
+//	lisi-solve -matrix A.mtx -solver superlu -procs 4 -out x.vec
+//
+// The matrix is Matrix-Market-style coordinate text (as written by
+// sparse.WriteCOO / cmd/meshgen); the right-hand side defaults to all
+// ones when -rhs is omitted. The global system is block-row partitioned
+// over -procs simulated ranks and pushed through the SparseSolver port.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"repro/internal/comm"
+	"repro/internal/core"
+	"repro/internal/pmat"
+	"repro/internal/sparse"
+)
+
+// setFlags collects repeated -set key=value flags.
+type setFlags map[string]string
+
+func (s setFlags) String() string { return fmt.Sprint(map[string]string(s)) }
+
+func (s setFlags) Set(v string) error {
+	k, val, ok := strings.Cut(v, "=")
+	if !ok || k == "" {
+		return fmt.Errorf("-set wants key=value, got %q", v)
+	}
+	s[k] = val
+	return nil
+}
+
+var classByName = map[string]string{
+	"petsc":    core.ClassKSPSolver,
+	"trilinos": core.ClassAztecSolver,
+	"superlu":  core.ClassSLUSolver,
+}
+
+func main() {
+	matrixPath := flag.String("matrix", "", "coefficient matrix file (coordinate text, required)")
+	rhsPath := flag.String("rhs", "", "right-hand side file (defaults to all ones)")
+	outPath := flag.String("out", "", "write the solution vector here (defaults to stdout summary only)")
+	solver := flag.String("solver", "petsc", "petsc, trilinos, or superlu")
+	procs := flag.Int("procs", 2, "simulated processor count")
+	params := setFlags{}
+	flag.Var(params, "set", "LISI parameter key=value (repeatable)")
+	flag.Parse()
+
+	if *matrixPath == "" {
+		fmt.Fprintln(os.Stderr, "-matrix is required")
+		os.Exit(2)
+	}
+	class, ok := classByName[*solver]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown solver %q\n", *solver)
+		os.Exit(2)
+	}
+
+	mf, err := os.Open(*matrixPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	coo, err := sparse.ReadCOO(mf)
+	mf.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	a := coo.ToCSR()
+	if a.Rows != a.Cols {
+		log.Fatalf("matrix is %dx%d; LISI systems are square", a.Rows, a.Cols)
+	}
+	n := a.Rows
+
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = 1
+	}
+	if *rhsPath != "" {
+		vf, err := os.Open(*rhsPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		b, err = sparse.ReadVector(vf)
+		vf.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if len(b) != n {
+			log.Fatalf("rhs has %d entries for a %dx%d matrix", len(b), n, n)
+		}
+	}
+
+	world, err := comm.NewWorld(*procs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var xGlobal []float64
+	var iters int
+	var residual float64
+	err = world.Run(func(c *comm.Comm) {
+		l, err := pmat.EvenLayout(c, n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		localA := a.SubMatrix(l.Start, l.Start+l.LocalN)
+		localB := b[l.Start : l.Start+l.LocalN]
+
+		comp, ok := newComponent(class)
+		if !ok {
+			log.Fatalf("no component for class %s", class)
+		}
+		check(comp.Initialize(c))
+		check(comp.SetStartRow(l.Start))
+		check(comp.SetLocalRows(l.LocalN))
+		check(comp.SetLocalNNZ(localA.NNZ()))
+		check(comp.SetGlobalCols(n))
+		check(comp.SetupMatrix(localA.Vals, localA.RowPtr, localA.ColInd,
+			core.CSR, len(localA.RowPtr), localA.NNZ()))
+		check(comp.SetupRHS(localB, l.LocalN, 1))
+		for k, v := range params {
+			if code := comp.Set(k, v); code != core.OK {
+				log.Fatalf("set %s=%s: %v", k, v, core.Check(code))
+			}
+		}
+		x := make([]float64, l.LocalN)
+		status := make([]float64, core.StatusLen)
+		check(comp.Solve(x, status, l.LocalN, core.StatusLen))
+
+		m, err := pmat.NewMat(l, localA)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res := m.Residual(localB, x)
+		full := pmat.Gather(l, 0, x)
+		if c.Rank() == 0 {
+			xGlobal = full
+			iters = int(status[core.StatusIterations])
+			residual = res
+		}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("solved %dx%d system (nnz=%d) with %s on %d ranks: iterations=%d residual=%.3e\n",
+		n, n, a.NNZ(), *solver, *procs, iters, residual)
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := sparse.WriteVector(f, xGlobal); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("solution written to %s\n", *outPath)
+	}
+}
+
+// newComponent instantiates a LISI component outside a framework.
+func newComponent(class string) (core.SparseSolver, bool) {
+	switch class {
+	case core.ClassKSPSolver:
+		return core.NewKSPComponent(), true
+	case core.ClassAztecSolver:
+		return core.NewAztecComponent(), true
+	case core.ClassSLUSolver:
+		return core.NewSLUComponent(), true
+	}
+	return nil, false
+}
+
+func check(code int) {
+	if err := core.Check(code); err != nil {
+		log.Fatal(err)
+	}
+}

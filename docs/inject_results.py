@@ -1,0 +1,44 @@
+#!/usr/bin/env python3
+"""Inject the measured tables from bench_results_full.txt into
+EXPERIMENTS.md (replacing the TABLE1-MEASURED / FIG5-MEASURED markers).
+Run from the repository root after `go run ./cmd/lisi-bench ...`."""
+import re
+import sys
+
+results = open("bench_results_full.txt").read()
+exp = open("EXPERIMENTS.md").read()
+
+# Table 1 block: lines after the header until a blank line.
+m = re.search(r"nnz\s+CCA\(s\).*?\n((?:\d+.*\n)+)", results)
+if not m:
+    sys.exit("table1 rows not found in bench_results_full.txt")
+rows = []
+for line in m.group(1).strip().split("\n"):
+    f = line.split()
+    rows.append(f"| {f[0]} | {f[1]} | {f[2]} | {f[3]} | {f[4]} |")
+table1 = (
+    "| nnz | CCA(s) | NonCCA(s) | Overhead(s)/(%) | Iters |\n"
+    "|---|---|---|---|---|\n" + "\n".join(rows)
+)
+
+# Figure 5 panels.
+panels = re.findall(
+    r"Figure 5 — (.*?): execution time.*?\nprocs.*?\n((?:\d+.*\n)+)", results
+)
+if len(panels) != 3:
+    sys.exit(f"expected 3 figure5 panels, found {len(panels)}")
+fig5 = []
+for name, body in panels:
+    fig5.append(f"**{name}**\n")
+    fig5.append("| procs | CCA(s) | NonCCA(s) | diff(s) |")
+    fig5.append("|---|---|---|---|")
+    for line in body.strip().split("\n"):
+        f = line.split()
+        fig5.append(f"| {f[0]} | {f[1]} | {f[2]} | {f[3]} |")
+    fig5.append("")
+fig5_md = "\n".join(fig5)
+
+exp = exp.replace("<!-- TABLE1-MEASURED -->", table1)
+exp = exp.replace("<!-- FIG5-MEASURED -->", fig5_md)
+open("EXPERIMENTS.md", "w").write(exp)
+print("EXPERIMENTS.md updated")

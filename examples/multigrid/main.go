@@ -1,0 +1,84 @@
+// Multigrid demonstrates the paper's §5.2(e) recursion scenario across
+// three grid sizes: the multigrid LISI component (whose coarsest-level
+// solve re-enters the LISI interface through an inner direct component)
+// shows near grid-independent cycle counts, while the single-level
+// GMRES+ILU component's iterations grow with the grid.
+//
+//	go run ./examples/multigrid
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/cca"
+	"repro/internal/comm"
+	"repro/internal/core"
+	"repro/internal/mesh"
+)
+
+func main() {
+	const procs = 2
+	grids := []int{15, 31, 63}
+
+	world, err := comm.NewWorld(procs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	err = world.Run(func(c *comm.Comm) {
+		fw := cca.NewFramework(c)
+		must(fw.CreateInstance("driver", core.ClassDriver))
+		must(fw.CreateInstance("mg", core.ClassMGSolver))
+		must(fw.CreateInstance("ksp", core.ClassKSPSolver))
+		comp, err := fw.Instance("driver")
+		must(err)
+		driver := comp.(*core.DriverComponent)
+
+		if c.Rank() == 0 {
+			fmt.Printf("%-8s %-28s %-28s\n", "grid", "multigrid (cycles, time)", "gmres+ilu (iters, time)")
+		}
+		for _, n := range grids {
+			problem := mesh.PaperProblem(n)
+
+			must(fw.Connect("driver", "solver", "mg", core.PortSparseSolver))
+			start := time.Now()
+			mgRes, err := driver.SolveProblem(problem, core.CSR, map[string]string{
+				"grid_n": fmt.Sprint(n), "tol": "1e-8",
+			})
+			mgTime := time.Since(start)
+			must(err)
+			must(fw.Disconnect("driver", "solver"))
+
+			must(fw.Connect("driver", "solver", "ksp", core.PortSparseSolver))
+			start = time.Now()
+			kspRes, err := driver.SolveProblem(problem, core.CSR, map[string]string{
+				"solver": "gmres", "preconditioner": "ilu", "tol": "1e-8",
+			})
+			kspTime := time.Since(start)
+			must(err)
+			must(fw.Disconnect("driver", "solver"))
+
+			if c.Rank() == 0 {
+				fmt.Printf("%-8s %-28s %-28s\n",
+					fmt.Sprintf("%dx%d", n, n),
+					fmt.Sprintf("%d cycles, %.3fs", mgRes.Iterations, mgTime.Seconds()),
+					fmt.Sprintf("%d iters, %.3fs", kspRes.Iterations, kspTime.Seconds()))
+			}
+		}
+		if c.Rank() == 0 {
+			fmt.Println("\nmultigrid cycles stay ~constant while single-level iterations grow —")
+			fmt.Println("the multilevel behaviour §5.2(e) anticipates, with the coarse solve")
+			fmt.Println("delegated through the LISI interface to a direct component.")
+		}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

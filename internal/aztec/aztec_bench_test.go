@@ -1,0 +1,97 @@
+package aztec
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/sparse"
+)
+
+// BenchmarkILUT quantifies the dual-threshold factorization across drop
+// tolerances (the AZDrop/AZIlutFill parameter space of the Trilinos-role
+// component).
+func BenchmarkILUT(b *testing.B) {
+	a := sparse.Laplace2D(60, 60)
+	for _, drop := range []float64{0, 0.001, 0.01} {
+		b.Run(fmt.Sprintf("drop=%g", drop), func(b *testing.B) {
+			var nnz int
+			for i := 0; i < b.N; i++ {
+				f, err := NewILUT(a, drop, 3)
+				if err != nil {
+					b.Fatal(err)
+				}
+				nnz = f.NNZ()
+			}
+			b.ReportMetric(float64(nnz), "factor-nnz")
+		})
+	}
+}
+
+// BenchmarkAztecSolvers measures one full Iterate per AZ solver at fixed
+// tolerance.
+func BenchmarkAztecSolvers(b *testing.B) {
+	global := sparse.Laplace2D(40, 40)
+	w, err := comm.NewWorld(2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for name, solver := range map[string]int{
+		"cg": AZCG, "gmres": AZGMRES, "cgs": AZCGS, "bicgstab": AZBiCGStab,
+	} {
+		b.Run(name, func(b *testing.B) {
+			if err := w.Run(func(c *comm.Comm) {
+				crs := buildCrs(c, global)
+				l := crs.RowMap().Layout()
+				rhs := make([]float64, l.LocalN)
+				for i := range rhs {
+					rhs[i] = 1
+				}
+				x := make([]float64, l.LocalN)
+				for i := 0; i < b.N; i++ {
+					s := NewSolver(c)
+					s.SetUserMatrix(crs)
+					s.Options()[AZSolver] = solver
+					s.Options()[AZPrecond] = AZDomDecomp
+					for j := range x {
+						x[j] = 0
+					}
+					if err := s.Iterate(x, rhs, 50000, 1e-8); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+// BenchmarkFillComplete measures assembly freezing (plan construction).
+func BenchmarkFillComplete(b *testing.B) {
+	global := sparse.Laplace2D(50, 50)
+	w, err := comm.NewWorld(4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := w.Run(func(c *comm.Comm) {
+		m, err := NewMap(c, global.Rows)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < b.N; i++ {
+			a := NewCrsMatrix(m)
+			for g := m.MinMyGID(); g <= m.MaxMyGID(); g++ {
+				cols, vals := global.RowView(g)
+				if err := a.InsertGlobalValues(g, cols, vals); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := a.FillComplete(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -1,0 +1,265 @@
+package aztec
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/pmat"
+	"repro/internal/sparse"
+)
+
+// residualAfterPrec applies z = M⁻¹·b once for a preconditioner built
+// from options and returns ‖b − A·z‖₂ relative to ‖b‖₂ — a direct
+// measure of how well M approximates A.
+func residualAfterPrec(t *testing.T, c *comm.Comm, global *sparse.CSR, prec, polyOrd int, drop, fill float64) float64 {
+	t.Helper()
+	crs := buildCrs(c, global)
+	opts := DefaultOptions()
+	opts[AZPrecond] = prec
+	opts[AZPolyOrd] = polyOrd
+	params := DefaultParams()
+	params[AZDrop] = drop
+	params[AZIlutFill] = fill
+	p, err := newPreconditioner(crs, crs, opts, params)
+	if err != nil {
+		t.Fatalf("newPreconditioner(%d): %v", prec, err)
+	}
+	l := crs.RowMap().Layout()
+	b := make([]float64, l.LocalN)
+	for i := range b {
+		b[i] = 1
+	}
+	z := make([]float64, l.LocalN)
+	p.apply(z, b)
+	r := make([]float64, l.LocalN)
+	if err := crs.Apply(r, z); err != nil {
+		t.Fatal(err)
+	}
+	for i := range r {
+		r[i] = b[i] - r[i]
+	}
+	return pmat.Norm2(c, r) / pmat.Norm2(c, b)
+}
+
+func TestPolynomialOrderImprovesNeumann(t *testing.T) {
+	// Higher Neumann order = better approximation of A⁻¹.
+	global := sparse.RandomDiagDominant(60, 3, 5)
+	w, _ := comm.NewWorld(2)
+	if err := w.Run(func(c *comm.Comm) {
+		r1 := residualAfterPrec(t, c, global, AZNeumann, 1, 0, 1)
+		r5 := residualAfterPrec(t, c, global, AZNeumann, 5, 0, 1)
+		if r5 >= r1 {
+			t.Errorf("Neumann order 5 (%g) not better than order 1 (%g)", r5, r1)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMoreJacobiStepsImprove(t *testing.T) {
+	global := sparse.RandomDiagDominant(60, 3, 7)
+	w, _ := comm.NewWorld(2)
+	if err := w.Run(func(c *comm.Comm) {
+		r1 := residualAfterPrec(t, c, global, AZJacobi, 1, 0, 1)
+		r4 := residualAfterPrec(t, c, global, AZJacobi, 4, 0, 1)
+		if r4 >= r1 {
+			t.Errorf("4-step Jacobi (%g) not better than 1-step (%g)", r4, r1)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSymGSSweepsImprove(t *testing.T) {
+	global := sparse.Laplace2D(8, 8)
+	w, _ := comm.NewWorld(1)
+	if err := w.Run(func(c *comm.Comm) {
+		r1 := residualAfterPrec(t, c, global, AZSymGS, 1, 0, 1)
+		r3 := residualAfterPrec(t, c, global, AZSymGS, 3, 0, 1)
+		if r3 >= r1 {
+			t.Errorf("3-sweep symGS (%g) not better than 1 (%g)", r3, r1)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDomDecompExactOnOneRank(t *testing.T) {
+	// With zero drop and ample fill on one rank, ILUT is a complete LU of
+	// the whole matrix: the preconditioned residual is ~0.
+	global := sparse.RandomDiagDominant(50, 4, 9)
+	w, _ := comm.NewWorld(1)
+	if err := w.Run(func(c *comm.Comm) {
+		r := residualAfterPrec(t, c, global, AZDomDecomp, 0, 0, 50)
+		if r > 1e-10 {
+			t.Errorf("full-fill single-domain ILUT residual %g", r)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPreconditionerZeroDiagonalRejected(t *testing.T) {
+	coo := sparse.NewCOO(4, 4)
+	coo.Append(0, 1, 1)
+	coo.Append(1, 0, 1)
+	coo.Append(2, 2, 1)
+	coo.Append(3, 3, 1)
+	coo.Append(0, 0, 0)
+	coo.Append(1, 1, 0)
+	global := coo.ToCSR()
+	w, _ := comm.NewWorld(1)
+	if err := w.Run(func(c *comm.Comm) {
+		crs := buildCrs(c, global)
+		for _, prec := range []int{AZJacobi, AZNeumann, AZLs, AZSymGS} {
+			opts := DefaultOptions()
+			opts[AZPrecond] = prec
+			if _, err := newPreconditioner(crs, crs, opts, DefaultParams()); err == nil {
+				t.Errorf("preconditioner %d accepted zero diagonal", prec)
+			}
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLsPrecReducesResidual(t *testing.T) {
+	global := sparse.Laplace2D(8, 8)
+	w, _ := comm.NewWorld(1)
+	if err := w.Run(func(c *comm.Comm) {
+		// Chebyshev-style polynomial of reasonable order approximates the
+		// inverse better than one step of Jacobi on SPD problems.
+		rCheb := residualAfterPrec(t, c, global, AZLs, 10, 0, 1)
+		rJac := residualAfterPrec(t, c, global, AZJacobi, 1, 0, 1)
+		if math.IsNaN(rCheb) || rCheb >= rJac {
+			t.Errorf("AZLs order 10 (%g) not better than 1-step Jacobi (%g)", rCheb, rJac)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOverlapSchwarzSolves(t *testing.T) {
+	global := sparse.Laplace2D(10, 10)
+	for _, overlap := range []int{1, 3, 8} {
+		w, _ := comm.NewWorld(3)
+		if err := w.Run(func(c *comm.Comm) {
+			crs := buildCrs(c, global)
+			s := NewSolver(c)
+			s.SetUserMatrix(crs)
+			s.Options()[AZSolver] = AZGMRES
+			s.Options()[AZPrecond] = AZDomDecomp
+			s.Options()[AZOverlap] = overlap
+			l := crs.RowMap().Layout()
+			b := make([]float64, l.LocalN)
+			for i := range b {
+				b[i] = 1
+			}
+			x := make([]float64, l.LocalN)
+			if err := s.Iterate(x, b, 3000, 1e-10); err != nil {
+				t.Fatalf("overlap=%d: %v", overlap, err)
+			}
+			res := make([]float64, l.LocalN)
+			if err := crs.Apply(res, x); err != nil {
+				t.Fatal(err)
+			}
+			for i := range res {
+				res[i] = b[i] - res[i]
+			}
+			if rn := pmat.Norm2(c, res); rn > 1e-7 {
+				t.Errorf("overlap=%d: residual %g", overlap, rn)
+			}
+		}); err != nil {
+			t.Fatalf("overlap=%d: %v", overlap, err)
+		}
+	}
+}
+
+func TestOverlapReducesIterations(t *testing.T) {
+	// The textbook additive-Schwarz behaviour: overlap strengthens the
+	// preconditioner, so iteration counts drop (or at least do not rise)
+	// relative to the zero-overlap block preconditioner.
+	global := sparse.Laplace2D(16, 16)
+	iters := map[int]int{}
+	for _, overlap := range []int{0, 4} {
+		w, _ := comm.NewWorld(4)
+		if err := w.Run(func(c *comm.Comm) {
+			crs := buildCrs(c, global)
+			s := NewSolver(c)
+			s.SetUserMatrix(crs)
+			s.Options()[AZSolver] = AZGMRES
+			s.Options()[AZPrecond] = AZDomDecomp
+			s.Options()[AZOverlap] = overlap
+			l := crs.RowMap().Layout()
+			b := make([]float64, l.LocalN)
+			for i := range b {
+				b[i] = 1
+			}
+			x := make([]float64, l.LocalN)
+			if err := s.Iterate(x, b, 3000, 1e-10); err != nil {
+				t.Fatal(err)
+			}
+			if c.Rank() == 0 {
+				iters[overlap] = s.NumIters()
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if iters[4] > iters[0] {
+		t.Errorf("overlap 4 took %d iterations vs %d without overlap", iters[4], iters[0])
+	}
+}
+
+func TestOverlapValidation(t *testing.T) {
+	global := sparse.Identity(8)
+	w, _ := comm.NewWorld(2)
+	if err := w.Run(func(c *comm.Comm) {
+		crs := buildCrs(c, global)
+		s := NewSolver(c)
+		s.SetUserMatrix(crs)
+		s.Options()[AZOverlap] = -1
+		x := make([]float64, crs.NumMyRows())
+		b := make([]float64, crs.NumMyRows())
+		if err := s.Solve(x, b); err == nil {
+			t.Error("negative overlap accepted")
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAZOutputMonitoring(t *testing.T) {
+	global := sparse.Laplace2D(6, 6)
+	w, _ := comm.NewWorld(2)
+	var buf strings.Builder
+	if err := w.Run(func(c *comm.Comm) {
+		crs := buildCrs(c, global)
+		s := NewSolver(c)
+		s.SetUserMatrix(crs)
+		s.SetOutput(&buf) // only rank 0 writes
+		s.Options()[AZOutput] = 2
+		s.Options()[AZSolver] = AZCG
+		s.Options()[AZPrecond] = AZNone
+		l := crs.RowMap().Layout()
+		b := make([]float64, l.LocalN)
+		for i := range b {
+			b[i] = 1
+		}
+		x := make([]float64, l.LocalN)
+		if err := s.Iterate(x, b, 1000, 1e-8); err != nil {
+			t.Fatal(err)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "iter:") || !strings.Contains(out, "residual") {
+		t.Errorf("monitor output missing:\n%s", out)
+	}
+	if strings.Count(out, "iter:") < 2 {
+		t.Errorf("expected multiple monitor lines:\n%s", out)
+	}
+}

@@ -1,0 +1,197 @@
+package aztec
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/pmat"
+	"repro/internal/sparse"
+)
+
+// Operator is anything that can apply y = A·x on conformally distributed
+// vectors — the Epetra_Operator role. Matrix-free applications implement
+// this (or RowMatrix) directly and hand it to the solver, which is how
+// Trilinos supports the paper's §5.5 matrix-free requirement.
+type Operator interface {
+	// RowMap returns the distribution of rows (and of both vectors).
+	RowMap() *Map
+	// Apply computes y = A·x (collective). x and y are local blocks.
+	Apply(y, x []float64) error
+}
+
+// RowMatrix extends Operator with row access, the Epetra_RowMatrix role.
+// Preconditioners require row access; plain Operators can only be solved
+// unpreconditioned.
+type RowMatrix interface {
+	Operator
+	// NumMyRows returns the local row count.
+	NumMyRows() int
+	// ExtractGlobalRowCopy returns copies of the column indices (global)
+	// and values of one owned global row.
+	ExtractGlobalRowCopy(globalRow int) (indices []int, values []float64, err error)
+	// ExtractDiagonalCopy returns the local part of the main diagonal.
+	ExtractDiagonalCopy() ([]float64, error)
+}
+
+// CrsMatrix is the assembled distributed matrix (Epetra_CrsMatrix role):
+// entries are inserted by global index row-by-row, then FillComplete
+// freezes the pattern and builds the communication plan.
+type CrsMatrix struct {
+	rowMap *Map
+	// staging area before FillComplete: per-local-row column/value lists.
+	stageCols [][]int
+	stageVals [][]float64
+	filled    bool
+	dist      *pmat.Mat
+	localCSR  *sparse.CSR // local rows with global column ids
+}
+
+// NewCrsMatrix creates an empty matrix over the given row map.
+func NewCrsMatrix(rowMap *Map) *CrsMatrix {
+	n := rowMap.NumMyElements()
+	return &CrsMatrix{
+		rowMap:    rowMap,
+		stageCols: make([][]int, n),
+		stageVals: make([][]float64, n),
+	}
+}
+
+// InsertGlobalValues appends entries to an owned global row; duplicate
+// column entries are summed at FillComplete.
+func (a *CrsMatrix) InsertGlobalValues(globalRow int, cols []int, vals []float64) error {
+	if a.filled {
+		return fmt.Errorf("aztec: InsertGlobalValues after FillComplete")
+	}
+	if len(cols) != len(vals) {
+		return fmt.Errorf("aztec: InsertGlobalValues: %d columns but %d values", len(cols), len(vals))
+	}
+	if !a.rowMap.MyGID(globalRow) {
+		return fmt.Errorf("aztec: InsertGlobalValues: row %d not owned by rank %d", globalRow, a.rowMap.Comm().Rank())
+	}
+	n := a.rowMap.NumGlobalElements()
+	for _, j := range cols {
+		if j < 0 || j >= n {
+			return fmt.Errorf("aztec: InsertGlobalValues: column %d outside [0,%d)", j, n)
+		}
+	}
+	lr := globalRow - a.rowMap.MinMyGID()
+	a.stageCols[lr] = append(a.stageCols[lr], cols...)
+	a.stageVals[lr] = append(a.stageVals[lr], vals...)
+	return nil
+}
+
+// FillComplete freezes the pattern, merges duplicates, and builds the
+// distributed communication plan (collective).
+func (a *CrsMatrix) FillComplete() error {
+	if a.filled {
+		return fmt.Errorf("aztec: FillComplete called twice")
+	}
+	l := a.rowMap.Layout()
+	coo := sparse.NewCOO(l.LocalN, l.N)
+	for lr := range a.stageCols {
+		for k, j := range a.stageCols[lr] {
+			coo.Append(lr, j, a.stageVals[lr][k])
+		}
+	}
+	a.localCSR = coo.ToCSR()
+	dist, err := pmat.NewMat(l, a.localCSR)
+	if err != nil {
+		return fmt.Errorf("aztec: FillComplete: %w", err)
+	}
+	a.dist = dist
+	a.filled = true
+	a.stageCols, a.stageVals = nil, nil
+	return nil
+}
+
+// Filled reports whether FillComplete has been called.
+func (a *CrsMatrix) Filled() bool { return a.filled }
+
+// RowMap returns the row distribution.
+func (a *CrsMatrix) RowMap() *Map { return a.rowMap }
+
+// NumMyRows returns the local row count.
+func (a *CrsMatrix) NumMyRows() int { return a.rowMap.NumMyElements() }
+
+// NumGlobalNonzeros returns the global entry count (collective).
+func (a *CrsMatrix) NumGlobalNonzeros() (int, error) {
+	if !a.filled {
+		return 0, fmt.Errorf("aztec: NumGlobalNonzeros before FillComplete")
+	}
+	return a.dist.GlobalNNZ(), nil
+}
+
+// Apply computes y = A·x (collective).
+func (a *CrsMatrix) Apply(y, x []float64) error {
+	if !a.filled {
+		return fmt.Errorf("aztec: Apply before FillComplete")
+	}
+	a.dist.Apply(y, x)
+	return nil
+}
+
+// ExtractGlobalRowCopy returns copies of one owned row's global column
+// indices and values.
+func (a *CrsMatrix) ExtractGlobalRowCopy(globalRow int) ([]int, []float64, error) {
+	if !a.filled {
+		return nil, nil, fmt.Errorf("aztec: ExtractGlobalRowCopy before FillComplete")
+	}
+	if !a.rowMap.MyGID(globalRow) {
+		return nil, nil, fmt.Errorf("aztec: ExtractGlobalRowCopy: row %d not owned", globalRow)
+	}
+	lr := globalRow - a.rowMap.MinMyGID()
+	cols, vals := a.localCSR.RowView(lr)
+	ci := make([]int, len(cols))
+	copy(ci, cols)
+	v := make([]float64, len(vals))
+	copy(v, vals)
+	return ci, v, nil
+}
+
+// ExtractDiagonalCopy returns the local diagonal.
+func (a *CrsMatrix) ExtractDiagonalCopy() ([]float64, error) {
+	if !a.filled {
+		return nil, fmt.Errorf("aztec: ExtractDiagonalCopy before FillComplete")
+	}
+	return a.dist.Diagonal(), nil
+}
+
+// Dist exposes the underlying distributed matrix (used by
+// preconditioners that need the local diagonal block).
+func (a *CrsMatrix) Dist() *pmat.Mat { return a.dist }
+
+// rowMatrixDiagBlock extracts the local diagonal block from any RowMatrix
+// through the public row-access interface, so user-defined RowMatrix
+// implementations (not just CrsMatrix) can be preconditioned.
+func rowMatrixDiagBlock(m RowMatrix) (*sparse.CSR, error) {
+	rm := m.RowMap()
+	lo, n := rm.MinMyGID(), rm.NumMyElements()
+	coo := sparse.NewCOO(n, n)
+	for lr := 0; lr < n; lr++ {
+		cols, vals, err := m.ExtractGlobalRowCopy(lo + lr)
+		if err != nil {
+			return nil, err
+		}
+		if !sort.IntsAreSorted(cols) {
+			sort.Sort(&colValSorter{cols, vals})
+		}
+		for k, j := range cols {
+			if j >= lo && j < lo+n {
+				coo.Append(lr, j-lo, vals[k])
+			}
+		}
+	}
+	return coo.ToCSR(), nil
+}
+
+type colValSorter struct {
+	cols []int
+	vals []float64
+}
+
+func (s *colValSorter) Len() int           { return len(s.cols) }
+func (s *colValSorter) Less(i, j int) bool { return s.cols[i] < s.cols[j] }
+func (s *colValSorter) Swap(i, j int) {
+	s.cols[i], s.cols[j] = s.cols[j], s.cols[i]
+	s.vals[i], s.vals[j] = s.vals[j], s.vals[i]
+}

@@ -1,0 +1,127 @@
+package bench
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// Small grid so the experiment machinery itself is validated quickly;
+// the full paper sizes run in cmd/lisi-bench and the root benchmarks.
+const testGrid = 20
+
+func TestRunCCAAndNonCCAAllSolvers(t *testing.T) {
+	for _, s := range Solvers() {
+		for _, p := range []int{1, 2} {
+			cca, err := RunCCA(p, s, testGrid, DefaultParams())
+			if err != nil {
+				t.Fatalf("RunCCA(%s, p=%d): %v", s, p, err)
+			}
+			if cca.Seconds <= 0 {
+				t.Errorf("%s p=%d: non-positive CCA time", s, p)
+			}
+			non, err := RunNonCCA(p, s, testGrid, DefaultParams())
+			if err != nil {
+				t.Fatalf("RunNonCCA(%s, p=%d): %v", s, p, err)
+			}
+			if non.Seconds <= 0 {
+				t.Errorf("%s p=%d: non-positive NonCCA time", s, p)
+			}
+			if s != SolverSLU {
+				// Both paths run the same method to the same tolerance, so
+				// iteration counts must agree.
+				if cca.Iterations != non.Iterations {
+					t.Errorf("%s p=%d: CCA %d iterations, NonCCA %d", s, p, cca.Iterations, non.Iterations)
+				}
+				if cca.Iterations < 1 {
+					t.Errorf("%s: no iterations recorded", s)
+				}
+			}
+		}
+	}
+}
+
+func TestUnknownSolverRejected(t *testing.T) {
+	if _, err := RunCCA(1, Solver("zzz"), testGrid, nil); err == nil {
+		t.Error("unknown solver accepted by RunCCA")
+	}
+	if _, err := RunNonCCA(1, Solver("zzz"), testGrid, nil); err == nil {
+		t.Error("unknown solver accepted by RunNonCCA")
+	}
+}
+
+func TestFigure5Harness(t *testing.T) {
+	pts, err := Figure5(SolverKSP, testGrid, []int{1, 2}, 2, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 || pts[0].Procs != 1 || pts[1].Procs != 2 {
+		t.Fatalf("unexpected points: %+v", pts)
+	}
+	out := FormatFigure5(SolverKSP, pts)
+	if !strings.Contains(out, "Figure 5") || !strings.Contains(out, "NonCCA") {
+		t.Errorf("format output:\n%s", out)
+	}
+}
+
+func TestTable1Harness(t *testing.T) {
+	// Grid 20 -> nnz = 5*400-80 = 1920.
+	rows, err := Table1([]int{1920}, 2, 2, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("rows: %+v", rows)
+	}
+	r := rows[0]
+	if r.NNZ != 1920 || r.Iters < 1 || r.CCA <= 0 || r.NonCCA <= 0 {
+		t.Errorf("row: %+v", r)
+	}
+	if math.Abs(r.Overhead-(r.CCA-r.NonCCA)) > 1e-12 {
+		t.Errorf("overhead inconsistent: %+v", r)
+	}
+	out := FormatTable1(rows)
+	if !strings.Contains(out, "Table 1") || !strings.Contains(out, "1920") {
+		t.Errorf("format output:\n%s", out)
+	}
+	if _, err := Table1([]int{123}, 1, 1, nil); err == nil {
+		t.Error("non-representable nnz accepted")
+	}
+}
+
+func TestPaperConstants(t *testing.T) {
+	if len(PaperNNZs()) != 5 || PaperNNZs()[2] != 199200 {
+		t.Errorf("paper sizes: %v", PaperNNZs())
+	}
+	if len(PaperProcs()) != 4 || PaperProcs()[3] != 8 {
+		t.Errorf("paper procs: %v", PaperProcs())
+	}
+	if len(Solvers()) != 3 {
+		t.Errorf("solvers: %v", Solvers())
+	}
+}
+
+func TestSortRows(t *testing.T) {
+	rows := []Table1Row{{NNZ: 5}, {NNZ: 1}, {NNZ: 3}}
+	SortRows(rows)
+	if rows[0].NNZ != 1 || rows[2].NNZ != 5 {
+		t.Errorf("not sorted: %+v", rows)
+	}
+}
+
+func TestMeanAveragesRuns(t *testing.T) {
+	n := 0
+	m, err := mean(4, func() (Measurement, error) {
+		n++
+		return Measurement{Seconds: float64(n), Iterations: n}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 {
+		t.Errorf("fn ran %d times", n)
+	}
+	if m.Seconds != 2.5 {
+		t.Errorf("mean = %v, want 2.5", m.Seconds)
+	}
+}

@@ -1,0 +1,307 @@
+// Package cca is the component framework of this reproduction, playing
+// the role Ccaffeine plays in the CCA-LISI paper: components are
+// collections of ports, a component declares the ports it *provides* and
+// the ports it *uses*, and the framework instantiates components by class
+// name, connects uses ports to provides ports (type-checked), and allows
+// dynamic re-wiring at run time — the mechanism behind the paper's
+// solver-swapping demo (Figure 4).
+//
+// In SPMD fashion each rank runs its own framework instance and its own
+// cohort of every component (paper §8); a component reaches its cohort's
+// communicator through the framework's communicator service, standing in
+// for MPI communicator access in Ccaffeine.
+//
+// The class registry doubles as the Babel/SIDL substitute: a component
+// implementation is registered under a class-name string and instantiated
+// reflectively at run time, which is the one Babel behaviour LISI's
+// pluggability depends on.
+package cca
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/comm"
+)
+
+// Port is the marker type for CCA ports. Concrete ports are Go
+// interfaces; a provides-port value must implement the interface the
+// connected uses port expects.
+type Port any
+
+// Component is implemented by every CCA component class. SetServices is
+// called exactly once, immediately after instantiation; the component
+// registers its uses ports and adds its provides ports there.
+type Component interface {
+	SetServices(svc Services) error
+}
+
+// Services is the framework handle given to a component, mirroring
+// gov.cca.Services.
+type Services interface {
+	// AddProvidesPort publishes a port implemented by this component.
+	AddProvidesPort(port Port, portName, portType string) error
+	// RegisterUsesPort declares that this component will want to fetch a
+	// port of the given type under the given name.
+	RegisterUsesPort(portName, portType string) error
+	// GetPort returns the provides port currently connected to the named
+	// uses port; it errors when unconnected (this framework never
+	// blocks).
+	GetPort(portName string) (Port, error)
+	// ReleasePort declares the component is done with a fetched port.
+	ReleasePort(portName string) error
+	// Comm returns the cohort's communicator (the framework's
+	// communicator service).
+	Comm() *comm.Comm
+	// InstanceName returns the name this component was created under.
+	InstanceName() string
+}
+
+// classRegistry maps class names to factories (global, the Babel role).
+var classRegistry = struct {
+	sync.Mutex
+	m map[string]func() Component
+}{m: make(map[string]func() Component)}
+
+// RegisterClass makes a component class instantiable by name. Classes are
+// typically registered from init functions. Re-registration overwrites,
+// which supports test doubles.
+func RegisterClass(className string, factory func() Component) {
+	if className == "" || factory == nil {
+		panic("cca: RegisterClass requires a name and a factory")
+	}
+	classRegistry.Lock()
+	defer classRegistry.Unlock()
+	classRegistry.m[className] = factory
+}
+
+// RegisteredClasses returns the sorted class names currently registered.
+func RegisteredClasses() []string {
+	classRegistry.Lock()
+	defer classRegistry.Unlock()
+	names := make([]string, 0, len(classRegistry.m))
+	for n := range classRegistry.m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func lookupClass(className string) (func() Component, bool) {
+	classRegistry.Lock()
+	defer classRegistry.Unlock()
+	f, ok := classRegistry.m[className]
+	return f, ok
+}
+
+// providesEntry is one published provides port.
+type providesEntry struct {
+	port     Port
+	portType string
+}
+
+// usesEntry is one declared uses port and its current connection.
+type usesEntry struct {
+	portType  string
+	connected *providesEntry // nil when unconnected
+	provider  string         // instance name of the provider
+	fetched   bool
+}
+
+// instance is one component instance and its port tables.
+type instance struct {
+	name      string
+	className string
+	comp      Component
+	provides  map[string]*providesEntry
+	uses      map[string]*usesEntry
+	fw        *Framework
+}
+
+// Framework instantiates and wires components on one rank.
+type Framework struct {
+	c         *comm.Comm
+	instances map[string]*instance
+}
+
+// NewFramework creates a framework bound to this rank's communicator.
+func NewFramework(c *comm.Comm) *Framework {
+	return &Framework{c: c, instances: make(map[string]*instance)}
+}
+
+// CreateInstance instantiates the named class under instanceName and runs
+// its SetServices.
+func (fw *Framework) CreateInstance(instanceName, className string) error {
+	if _, dup := fw.instances[instanceName]; dup {
+		return fmt.Errorf("cca: instance %q already exists", instanceName)
+	}
+	factory, ok := lookupClass(className)
+	if !ok {
+		return fmt.Errorf("cca: unknown component class %q", className)
+	}
+	inst := &instance{
+		name:      instanceName,
+		className: className,
+		comp:      factory(),
+		provides:  make(map[string]*providesEntry),
+		uses:      make(map[string]*usesEntry),
+		fw:        fw,
+	}
+	fw.instances[instanceName] = inst
+	if err := inst.comp.SetServices(inst); err != nil {
+		delete(fw.instances, instanceName)
+		return fmt.Errorf("cca: SetServices of %q (%s) failed: %w", instanceName, className, err)
+	}
+	return nil
+}
+
+// DestroyInstance removes an instance, disconnecting any links that
+// involve it.
+func (fw *Framework) DestroyInstance(instanceName string) error {
+	inst, ok := fw.instances[instanceName]
+	if !ok {
+		return fmt.Errorf("cca: unknown instance %q", instanceName)
+	}
+	// Disconnect uses ports of other instances that point at this one.
+	for _, other := range fw.instances {
+		for _, u := range other.uses {
+			if u.provider == instanceName {
+				u.connected, u.provider, u.fetched = nil, "", false
+			}
+		}
+	}
+	_ = inst
+	delete(fw.instances, instanceName)
+	return nil
+}
+
+// Instance returns the component object behind an instance name (for
+// drivers that need to invoke application entry points).
+func (fw *Framework) Instance(instanceName string) (Component, error) {
+	inst, ok := fw.instances[instanceName]
+	if !ok {
+		return nil, fmt.Errorf("cca: unknown instance %q", instanceName)
+	}
+	return inst.comp, nil
+}
+
+// Connect wires user's uses port to provider's provides port, checking
+// port-type compatibility. Reconnecting an already-connected uses port is
+// an error; Disconnect first (the dynamic-swap sequence).
+func (fw *Framework) Connect(user, usesPort, provider, providesPort string) error {
+	u, ok := fw.instances[user]
+	if !ok {
+		return fmt.Errorf("cca: unknown instance %q", user)
+	}
+	p, ok := fw.instances[provider]
+	if !ok {
+		return fmt.Errorf("cca: unknown instance %q", provider)
+	}
+	ue, ok := u.uses[usesPort]
+	if !ok {
+		return fmt.Errorf("cca: instance %q has no uses port %q", user, usesPort)
+	}
+	pe, ok := p.provides[providesPort]
+	if !ok {
+		return fmt.Errorf("cca: instance %q has no provides port %q", provider, providesPort)
+	}
+	if ue.portType != pe.portType {
+		return fmt.Errorf("cca: port type mismatch: uses %q is %q, provides %q is %q",
+			usesPort, ue.portType, providesPort, pe.portType)
+	}
+	if ue.connected != nil {
+		return fmt.Errorf("cca: uses port %q of %q is already connected (disconnect first)", usesPort, user)
+	}
+	ue.connected = pe
+	ue.provider = provider
+	return nil
+}
+
+// Disconnect detaches a uses port, enabling a different provider to be
+// connected — the run-time component swap of Figure 4.
+func (fw *Framework) Disconnect(user, usesPort string) error {
+	u, ok := fw.instances[user]
+	if !ok {
+		return fmt.Errorf("cca: unknown instance %q", user)
+	}
+	ue, ok := u.uses[usesPort]
+	if !ok {
+		return fmt.Errorf("cca: instance %q has no uses port %q", user, usesPort)
+	}
+	if ue.connected == nil {
+		return fmt.Errorf("cca: uses port %q of %q is not connected", usesPort, user)
+	}
+	ue.connected, ue.provider, ue.fetched = nil, "", false
+	return nil
+}
+
+// Connections renders the current wiring for diagnostics, one
+// "user.usesPort -> provider.providesPortType" line per link, sorted.
+func (fw *Framework) Connections() []string {
+	var out []string
+	for _, inst := range fw.instances {
+		for name, u := range inst.uses {
+			if u.connected != nil {
+				out = append(out, fmt.Sprintf("%s.%s -> %s (%s)", inst.name, name, u.provider, u.portType))
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ---- Services implementation on instance ----
+
+// AddProvidesPort implements Services.
+func (in *instance) AddProvidesPort(port Port, portName, portType string) error {
+	if port == nil {
+		return fmt.Errorf("cca: AddProvidesPort: nil port %q", portName)
+	}
+	if _, dup := in.provides[portName]; dup {
+		return fmt.Errorf("cca: provides port %q already added on %q", portName, in.name)
+	}
+	in.provides[portName] = &providesEntry{port: port, portType: portType}
+	return nil
+}
+
+// RegisterUsesPort implements Services.
+func (in *instance) RegisterUsesPort(portName, portType string) error {
+	if _, dup := in.uses[portName]; dup {
+		return fmt.Errorf("cca: uses port %q already registered on %q", portName, in.name)
+	}
+	in.uses[portName] = &usesEntry{portType: portType}
+	return nil
+}
+
+// GetPort implements Services.
+func (in *instance) GetPort(portName string) (Port, error) {
+	ue, ok := in.uses[portName]
+	if !ok {
+		return nil, fmt.Errorf("cca: %q has no uses port %q", in.name, portName)
+	}
+	if ue.connected == nil {
+		return nil, fmt.Errorf("cca: uses port %q of %q is not connected", portName, in.name)
+	}
+	ue.fetched = true
+	return ue.connected.port, nil
+}
+
+// ReleasePort implements Services.
+func (in *instance) ReleasePort(portName string) error {
+	ue, ok := in.uses[portName]
+	if !ok {
+		return fmt.Errorf("cca: %q has no uses port %q", in.name, portName)
+	}
+	if !ue.fetched {
+		return fmt.Errorf("cca: uses port %q of %q was not fetched", portName, in.name)
+	}
+	ue.fetched = false
+	return nil
+}
+
+// Comm implements Services.
+func (in *instance) Comm() *comm.Comm { return in.fw.c }
+
+// InstanceName implements Services.
+func (in *instance) InstanceName() string { return in.name }

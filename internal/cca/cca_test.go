@@ -1,0 +1,347 @@
+package cca
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/comm"
+)
+
+// GreeterPort is a toy port interface for the tests.
+type GreeterPort interface {
+	Greet(who string) string
+}
+
+// greeterComponent provides a GreeterPort.
+type greeterComponent struct {
+	prefix string
+}
+
+func (g *greeterComponent) SetServices(svc Services) error {
+	return svc.AddProvidesPort(g, "greeter", "test.Greeter")
+}
+
+func (g *greeterComponent) Greet(who string) string { return g.prefix + who }
+
+// callerComponent uses a GreeterPort.
+type callerComponent struct {
+	svc Services
+}
+
+func (c *callerComponent) SetServices(svc Services) error {
+	c.svc = svc
+	return svc.RegisterUsesPort("talk", "test.Greeter")
+}
+
+func (c *callerComponent) Call(who string) (string, error) {
+	p, err := c.svc.GetPort("talk")
+	if err != nil {
+		return "", err
+	}
+	defer c.svc.ReleasePort("talk")
+	return p.(GreeterPort).Greet(who), nil
+}
+
+// brokenComponent fails SetServices.
+type brokenComponent struct{}
+
+func (b *brokenComponent) SetServices(Services) error { return fmt.Errorf("intentional setup failure") }
+
+func init() {
+	RegisterClass("test.Greeter.hello", func() Component { return &greeterComponent{prefix: "hello "} })
+	RegisterClass("test.Greeter.hi", func() Component { return &greeterComponent{prefix: "hi "} })
+	RegisterClass("test.Caller", func() Component { return &callerComponent{} })
+	RegisterClass("test.Broken", func() Component { return &brokenComponent{} })
+}
+
+// withFW runs fn with a framework on a single-rank world.
+func withFW(t *testing.T, fn func(fw *Framework)) {
+	t.Helper()
+	w, err := comm.NewWorld(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Run(func(c *comm.Comm) {
+		fn(NewFramework(c))
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	names := RegisteredClasses()
+	want := []string{"test.Broken", "test.Caller", "test.Greeter.hello", "test.Greeter.hi"}
+	for _, n := range want {
+		found := false
+		for _, g := range names {
+			if g == n {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("class %q not registered", n)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("RegisterClass with empty name did not panic")
+		}
+	}()
+	RegisterClass("", nil)
+}
+
+func TestCreateConnectInvoke(t *testing.T) {
+	withFW(t, func(fw *Framework) {
+		if err := fw.CreateInstance("greet", "test.Greeter.hello"); err != nil {
+			t.Fatal(err)
+		}
+		if err := fw.CreateInstance("caller", "test.Caller"); err != nil {
+			t.Fatal(err)
+		}
+		if err := fw.Connect("caller", "talk", "greet", "greeter"); err != nil {
+			t.Fatal(err)
+		}
+		compAny, err := fw.Instance("caller")
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := compAny.(*callerComponent).Call("world")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != "hello world" {
+			t.Errorf("Call = %q", got)
+		}
+		conns := fw.Connections()
+		if len(conns) != 1 || !strings.Contains(conns[0], "caller.talk -> greet") {
+			t.Errorf("Connections = %v", conns)
+		}
+	})
+}
+
+func TestDynamicSwap(t *testing.T) {
+	withFW(t, func(fw *Framework) {
+		for _, step := range [][2]string{
+			{"hello", "test.Greeter.hello"},
+			{"hi", "test.Greeter.hi"},
+			{"caller", "test.Caller"},
+		} {
+			if err := fw.CreateInstance(step[0], step[1]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		caller, _ := fw.Instance("caller")
+		call := func() string {
+			s, err := caller.(*callerComponent).Call("x")
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s
+		}
+		if err := fw.Connect("caller", "talk", "hello", "greeter"); err != nil {
+			t.Fatal(err)
+		}
+		if got := call(); got != "hello x" {
+			t.Errorf("first provider: %q", got)
+		}
+		// Swap at run time: disconnect, reconnect to the other provider.
+		if err := fw.Connect("caller", "talk", "hi", "greeter"); err == nil {
+			t.Error("double connect accepted")
+		}
+		if err := fw.Disconnect("caller", "talk"); err != nil {
+			t.Fatal(err)
+		}
+		if err := fw.Connect("caller", "talk", "hi", "greeter"); err != nil {
+			t.Fatal(err)
+		}
+		if got := call(); got != "hi x" {
+			t.Errorf("after swap: %q", got)
+		}
+	})
+}
+
+func TestConnectionErrors(t *testing.T) {
+	withFW(t, func(fw *Framework) {
+		fw.CreateInstance("greet", "test.Greeter.hello")
+		fw.CreateInstance("caller", "test.Caller")
+
+		cases := [][4]string{
+			{"nobody", "talk", "greet", "greeter"},
+			{"caller", "talk", "nobody", "greeter"},
+			{"caller", "nosuch", "greet", "greeter"},
+			{"caller", "talk", "greet", "nosuch"},
+		}
+		for _, c := range cases {
+			if err := fw.Connect(c[0], c[1], c[2], c[3]); err == nil {
+				t.Errorf("Connect(%v) accepted", c)
+			}
+		}
+		// Type mismatch: register a uses port with a different type.
+		if err := fw.Connect("greet", "talk", "greet", "greeter"); err == nil {
+			t.Error("connect with missing uses port accepted")
+		}
+		if err := fw.Disconnect("caller", "talk"); err == nil {
+			t.Error("disconnect of unconnected port accepted")
+		}
+		if err := fw.Disconnect("nobody", "talk"); err == nil {
+			t.Error("disconnect on unknown instance accepted")
+		}
+	})
+}
+
+func TestPortTypeMismatch(t *testing.T) {
+	withFW(t, func(fw *Framework) {
+		RegisterClass("test.WrongTypeUser", func() Component { return &wrongTypeUser{} })
+		fw.CreateInstance("greet", "test.Greeter.hello")
+		if err := fw.CreateInstance("wrong", "test.WrongTypeUser"); err != nil {
+			t.Fatal(err)
+		}
+		if err := fw.Connect("wrong", "talk", "greet", "greeter"); err == nil {
+			t.Error("type-mismatched connect accepted")
+		}
+	})
+}
+
+type wrongTypeUser struct{}
+
+func (u *wrongTypeUser) SetServices(svc Services) error {
+	return svc.RegisterUsesPort("talk", "test.SomethingElse")
+}
+
+func TestInstanceLifecycle(t *testing.T) {
+	withFW(t, func(fw *Framework) {
+		if err := fw.CreateInstance("a", "test.Greeter.hello"); err != nil {
+			t.Fatal(err)
+		}
+		if err := fw.CreateInstance("a", "test.Greeter.hello"); err == nil {
+			t.Error("duplicate instance name accepted")
+		}
+		if err := fw.CreateInstance("b", "no.such.class"); err == nil {
+			t.Error("unknown class accepted")
+		}
+		if err := fw.CreateInstance("broken", "test.Broken"); err == nil {
+			t.Error("SetServices failure not propagated")
+		}
+		if _, err := fw.Instance("broken"); err == nil {
+			t.Error("failed instance remained registered")
+		}
+		if err := fw.DestroyInstance("a"); err != nil {
+			t.Fatal(err)
+		}
+		if err := fw.DestroyInstance("a"); err == nil {
+			t.Error("double destroy accepted")
+		}
+	})
+}
+
+func TestDestroyDisconnectsDependents(t *testing.T) {
+	withFW(t, func(fw *Framework) {
+		fw.CreateInstance("greet", "test.Greeter.hello")
+		fw.CreateInstance("caller", "test.Caller")
+		fw.Connect("caller", "talk", "greet", "greeter")
+		if err := fw.DestroyInstance("greet"); err != nil {
+			t.Fatal(err)
+		}
+		caller, _ := fw.Instance("caller")
+		if _, err := caller.(*callerComponent).Call("x"); err == nil {
+			t.Error("call through a destroyed provider succeeded")
+		}
+		if conns := fw.Connections(); len(conns) != 0 {
+			t.Errorf("stale connections remain: %v", conns)
+		}
+	})
+}
+
+func TestServicesErrors(t *testing.T) {
+	withFW(t, func(fw *Framework) {
+		RegisterClass("test.DupPorts", func() Component { return &dupPorts{} })
+		if err := fw.CreateInstance("dup", "test.DupPorts"); err == nil {
+			t.Error("duplicate provides port accepted")
+		}
+		RegisterClass("test.DupUses", func() Component { return &dupUses{} })
+		if err := fw.CreateInstance("dupu", "test.DupUses"); err == nil {
+			t.Error("duplicate uses port accepted")
+		}
+		RegisterClass("test.NilPort", func() Component { return &nilPort{} })
+		if err := fw.CreateInstance("nilp", "test.NilPort"); err == nil {
+			t.Error("nil provides port accepted")
+		}
+		// ReleasePort without GetPort.
+		fw.CreateInstance("caller", "test.Caller")
+		caller, _ := fw.Instance("caller")
+		if err := caller.(*callerComponent).svc.ReleasePort("talk"); err == nil {
+			t.Error("release of unfetched port accepted")
+		}
+		if err := caller.(*callerComponent).svc.ReleasePort("nosuch"); err == nil {
+			t.Error("release of unknown port accepted")
+		}
+		if _, err := caller.(*callerComponent).svc.GetPort("nosuch"); err == nil {
+			t.Error("GetPort on unknown uses port accepted")
+		}
+		if caller.(*callerComponent).svc.InstanceName() != "caller" {
+			t.Error("InstanceName wrong")
+		}
+	})
+}
+
+type dupPorts struct{}
+
+func (d *dupPorts) SetServices(svc Services) error {
+	if err := svc.AddProvidesPort(d, "p", "t"); err != nil {
+		return err
+	}
+	return svc.AddProvidesPort(d, "p", "t")
+}
+
+type dupUses struct{}
+
+func (d *dupUses) SetServices(svc Services) error {
+	if err := svc.RegisterUsesPort("u", "t"); err != nil {
+		return err
+	}
+	return svc.RegisterUsesPort("u", "t")
+}
+
+type nilPort struct{}
+
+func (d *nilPort) SetServices(svc Services) error {
+	return svc.AddProvidesPort(nil, "p", "t")
+}
+
+func TestCohortsAcrossRanks(t *testing.T) {
+	// One framework per rank; components see their rank's communicator
+	// and can do collective work — the SPMD cohort model of §8.
+	w, err := comm.NewWorld(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	RegisterClass("test.RankReporter", func() Component { return &rankReporter{} })
+	if err := w.Run(func(c *comm.Comm) {
+		fw := NewFramework(c)
+		if err := fw.CreateInstance("rr", "test.RankReporter"); err != nil {
+			t.Error(err)
+			return
+		}
+		comp, _ := fw.Instance("rr")
+		rr := comp.(*rankReporter)
+		if rr.svc.Comm().Rank() != c.Rank() {
+			t.Errorf("component sees rank %d, want %d", rr.svc.Comm().Rank(), c.Rank())
+		}
+		sum := rr.svc.Comm().AllReduceInt(1, comm.OpSum)
+		if sum != 3 {
+			t.Errorf("component collective sum = %d", sum)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+type rankReporter struct {
+	svc Services
+}
+
+func (r *rankReporter) SetServices(svc Services) error {
+	r.svc = svc
+	return nil
+}

@@ -1,0 +1,92 @@
+package cca
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Ccaffeine composes applications from "rc" scripts ("Composing and
+// Debugging Applications Iteratively", the paper's [15]); this file
+// provides the equivalent assembly-script mechanism so a component
+// wiring — such as the Figure 4 demo — can be described as data rather
+// than code.
+//
+// Script grammar (one command per line, '#' comments):
+//
+//	instantiate <className> <instanceName>
+//	connect     <userInstance> <usesPort> <providerInstance> <providesPort>
+//	disconnect  <userInstance> <usesPort>
+//	destroy     <instanceName>
+
+// ScriptCommand is one parsed assembly command.
+type ScriptCommand struct {
+	Line int
+	Verb string
+	Args []string
+}
+
+// ParseScript reads an assembly script without executing it, validating
+// verbs and argument counts.
+func ParseScript(r io.Reader) ([]ScriptCommand, error) {
+	var cmds []ScriptCommand
+	sc := bufio.NewScanner(r)
+	line := 0
+	argc := map[string]int{
+		"instantiate": 2,
+		"connect":     4,
+		"disconnect":  2,
+		"destroy":     1,
+	}
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if i := strings.IndexByte(text, '#'); i >= 0 {
+			text = strings.TrimSpace(text[:i])
+		}
+		if text == "" {
+			continue
+		}
+		fields := strings.Fields(text)
+		verb := fields[0]
+		want, ok := argc[verb]
+		if !ok {
+			return nil, fmt.Errorf("cca: script line %d: unknown command %q", line, verb)
+		}
+		if len(fields)-1 != want {
+			return nil, fmt.Errorf("cca: script line %d: %s takes %d arguments, got %d", line, verb, want, len(fields)-1)
+		}
+		cmds = append(cmds, ScriptCommand{Line: line, Verb: verb, Args: fields[1:]})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return cmds, nil
+}
+
+// ExecuteScript parses and runs an assembly script against the
+// framework, stopping at the first failing command.
+func (fw *Framework) ExecuteScript(r io.Reader) error {
+	cmds, err := ParseScript(r)
+	if err != nil {
+		return err
+	}
+	for _, cmd := range cmds {
+		var err error
+		switch cmd.Verb {
+		case "instantiate":
+			err = fw.CreateInstance(cmd.Args[1], cmd.Args[0])
+		case "connect":
+			err = fw.Connect(cmd.Args[0], cmd.Args[1], cmd.Args[2], cmd.Args[3])
+		case "disconnect":
+			err = fw.Disconnect(cmd.Args[0], cmd.Args[1])
+		case "destroy":
+			err = fw.DestroyInstance(cmd.Args[0])
+		}
+		if err != nil {
+			return fmt.Errorf("cca: script line %d (%s): %w", cmd.Line, cmd.Verb, err)
+		}
+	}
+	return nil
+}

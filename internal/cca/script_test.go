@@ -1,0 +1,97 @@
+package cca
+
+import (
+	"strings"
+	"testing"
+)
+
+const goodScript = `
+# Figure-4-style assembly
+instantiate test.Greeter.hello greet    # provider
+instantiate test.Caller caller
+connect caller talk greet greeter
+`
+
+func TestParseScript(t *testing.T) {
+	cmds, err := ParseScript(strings.NewReader(goodScript))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cmds) != 3 {
+		t.Fatalf("parsed %d commands", len(cmds))
+	}
+	if cmds[0].Verb != "instantiate" || cmds[0].Args[1] != "greet" {
+		t.Errorf("first command: %+v", cmds[0])
+	}
+	if cmds[2].Verb != "connect" || len(cmds[2].Args) != 4 {
+		t.Errorf("connect command: %+v", cmds[2])
+	}
+}
+
+func TestParseScriptErrors(t *testing.T) {
+	cases := map[string]string{
+		"unknownVerb": "teleport a b\n",
+		"badArity":    "connect a b c\n",
+		"badArity2":   "instantiate onlyone\n",
+	}
+	for name, in := range cases {
+		if _, err := ParseScript(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	// Comments and blank lines are fine.
+	if cmds, err := ParseScript(strings.NewReader("\n   \n# only comments\n")); err != nil || len(cmds) != 0 {
+		t.Errorf("comment-only script: %v, %d commands", err, len(cmds))
+	}
+}
+
+func TestExecuteScript(t *testing.T) {
+	withFW(t, func(fw *Framework) {
+		if err := fw.ExecuteScript(strings.NewReader(goodScript)); err != nil {
+			t.Fatal(err)
+		}
+		comp, err := fw.Instance("caller")
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := comp.(*callerComponent).Call("scripted")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != "hello scripted" {
+			t.Errorf("Call = %q", got)
+		}
+		// Re-wire via script: disconnect, new provider, connect.
+		swap := `
+instantiate test.Greeter.hi hi
+disconnect caller talk
+connect caller talk hi greeter
+`
+		if err := fw.ExecuteScript(strings.NewReader(swap)); err != nil {
+			t.Fatal(err)
+		}
+		if got, _ := comp.(*callerComponent).Call("x"); got != "hi x" {
+			t.Errorf("after scripted swap: %q", got)
+		}
+		// Destroy via script.
+		if err := fw.ExecuteScript(strings.NewReader("destroy hi\n")); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := comp.(*callerComponent).Call("x"); err == nil {
+			t.Error("call through scripted-destroyed provider succeeded")
+		}
+	})
+}
+
+func TestExecuteScriptReportsLine(t *testing.T) {
+	withFW(t, func(fw *Framework) {
+		bad := "instantiate test.Greeter.hello a\nconnect a nosuch a greeter\n"
+		err := fw.ExecuteScript(strings.NewReader(bad))
+		if err == nil {
+			t.Fatal("bad script accepted")
+		}
+		if !strings.Contains(err.Error(), "line 2") {
+			t.Errorf("error %q does not name the failing line", err)
+		}
+	})
+}

@@ -1,0 +1,58 @@
+package comm
+
+import "sync"
+
+// barrier is a reusable (cyclic) sense-reversing barrier for a fixed number
+// of participants, with abort support.
+type barrier struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	parties int
+	waiting int
+	gen     uint64
+	aborted bool
+	abortCh chan struct{}
+}
+
+func newBarrier(parties int, abortCh chan struct{}) *barrier {
+	b := &barrier{parties: parties, abortCh: abortCh}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *barrier) await() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.aborted {
+		panic(ErrAborted)
+	}
+	gen := b.gen
+	b.waiting++
+	if b.waiting == b.parties {
+		b.waiting = 0
+		b.gen++
+		b.cond.Broadcast()
+		return
+	}
+	for gen == b.gen {
+		if b.aborted {
+			panic(ErrAborted)
+		}
+		b.cond.Wait()
+	}
+	if b.aborted {
+		panic(ErrAborted)
+	}
+}
+
+func (b *barrier) abortAll() {
+	b.mu.Lock()
+	b.aborted = true
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}
+
+// Barrier blocks until every rank in the world has entered it.
+func (c *Comm) Barrier() {
+	c.w.bar.await()
+}

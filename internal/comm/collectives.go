@@ -1,0 +1,324 @@
+package comm
+
+import "fmt"
+
+// Op identifies a reduction operator.
+type Op int
+
+// Reduction operators.
+const (
+	OpSum Op = iota
+	OpProd
+	OpMax
+	OpMin
+)
+
+// String returns the operator's name.
+func (op Op) String() string {
+	switch op {
+	case OpSum:
+		return "sum"
+	case OpProd:
+		return "prod"
+	case OpMax:
+		return "max"
+	case OpMin:
+		return "min"
+	}
+	return fmt.Sprintf("Op(%d)", int(op))
+}
+
+func (op Op) foldFloat64(a, b float64) float64 {
+	switch op {
+	case OpSum:
+		return a + b
+	case OpProd:
+		return a * b
+	case OpMax:
+		if b > a {
+			return b
+		}
+		return a
+	case OpMin:
+		if b < a {
+			return b
+		}
+		return a
+	}
+	panic("comm: unknown reduction op")
+}
+
+func (op Op) foldInt(a, b int) int {
+	switch op {
+	case OpSum:
+		return a + b
+	case OpProd:
+		return a * b
+	case OpMax:
+		if b > a {
+			return b
+		}
+		return a
+	case OpMin:
+		if b < a {
+			return b
+		}
+		return a
+	}
+	panic("comm: unknown reduction op")
+}
+
+// exchange implements the shared-slot collective pattern: every rank posts
+// its contribution, a barrier makes all contributions visible, every rank
+// snapshots all slots, and a second barrier protects the slots from being
+// overwritten by a subsequent collective before all ranks have read them.
+func (c *Comm) exchange(x any) []any {
+	c.w.coll[c.rank] = x
+	c.Barrier()
+	out := make([]any, c.w.size)
+	copy(out, c.w.coll)
+	c.Barrier()
+	return out
+}
+
+// AllGatherFloat64s gathers each rank's slice; element i of the result is a
+// copy of rank i's contribution. Contributions may have different lengths.
+func (c *Comm) AllGatherFloat64s(x []float64) [][]float64 {
+	all := c.exchange(x)
+	out := make([][]float64, len(all))
+	for i, a := range all {
+		src := a.([]float64)
+		out[i] = make([]float64, len(src))
+		copy(out[i], src)
+	}
+	return out
+}
+
+// AllGatherInts gathers each rank's []int contribution.
+func (c *Comm) AllGatherInts(x []int) [][]int {
+	all := c.exchange(x)
+	out := make([][]int, len(all))
+	for i, a := range all {
+		src := a.([]int)
+		out[i] = make([]int, len(src))
+		copy(out[i], src)
+	}
+	return out
+}
+
+// AllGatherInt gathers one int from every rank.
+func (c *Comm) AllGatherInt(x int) []int {
+	all := c.exchange(x)
+	out := make([]int, len(all))
+	for i, a := range all {
+		out[i] = a.(int)
+	}
+	return out
+}
+
+// AllGatherVFloat64s gathers variable-length contributions and returns
+// their concatenation in rank order (as MPI_Allgatherv would produce).
+func (c *Comm) AllGatherVFloat64s(x []float64) []float64 {
+	parts := c.AllGatherFloat64s(x)
+	n := 0
+	for _, p := range parts {
+		n += len(p)
+	}
+	out := make([]float64, 0, n)
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
+}
+
+// AllGatherVInts gathers variable-length []int contributions concatenated
+// in rank order.
+func (c *Comm) AllGatherVInts(x []int) []int {
+	parts := c.AllGatherInts(x)
+	n := 0
+	for _, p := range parts {
+		n += len(p)
+	}
+	out := make([]int, 0, n)
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
+}
+
+// AllReduceFloat64 combines one float64 per rank with op; every rank
+// receives the result. The fold is performed in rank order on every rank,
+// so the result is deterministic and identical across ranks.
+func (c *Comm) AllReduceFloat64(x float64, op Op) float64 {
+	all := c.exchange(x)
+	acc := all[0].(float64)
+	for _, a := range all[1:] {
+		acc = op.foldFloat64(acc, a.(float64))
+	}
+	return acc
+}
+
+// AllReduceInt combines one int per rank with op on every rank.
+func (c *Comm) AllReduceInt(x int, op Op) int {
+	all := c.exchange(x)
+	acc := all[0].(int)
+	for _, a := range all[1:] {
+		acc = op.foldInt(acc, a.(int))
+	}
+	return acc
+}
+
+// AllReduceFloat64s element-wise reduces equal-length vectors across ranks.
+func (c *Comm) AllReduceFloat64s(x []float64, op Op) []float64 {
+	all := c.exchange(x)
+	first := all[0].([]float64)
+	acc := make([]float64, len(first))
+	copy(acc, first)
+	for r := 1; r < len(all); r++ {
+		v := all[r].([]float64)
+		if len(v) != len(acc) {
+			panic(fmt.Sprintf("comm: AllReduceFloat64s length mismatch: rank 0 has %d, rank %d has %d", len(acc), r, len(v)))
+		}
+		for i := range acc {
+			acc[i] = op.foldFloat64(acc[i], v[i])
+		}
+	}
+	return acc
+}
+
+// BcastFloat64s broadcasts root's slice; every rank (including root)
+// receives a private copy. Non-root ranks may pass nil.
+func (c *Comm) BcastFloat64s(root int, x []float64) []float64 {
+	c.checkPeer(root)
+	var contrib any
+	if c.rank == root {
+		contrib = x
+	}
+	all := c.exchange(contrib)
+	src := all[root].([]float64)
+	out := make([]float64, len(src))
+	copy(out, src)
+	return out
+}
+
+// BcastInts broadcasts root's []int.
+func (c *Comm) BcastInts(root int, x []int) []int {
+	c.checkPeer(root)
+	var contrib any
+	if c.rank == root {
+		contrib = x
+	}
+	all := c.exchange(contrib)
+	src := all[root].([]int)
+	out := make([]int, len(src))
+	copy(out, src)
+	return out
+}
+
+// BcastInt broadcasts one int from root.
+func (c *Comm) BcastInt(root int, x int) int {
+	c.checkPeer(root)
+	all := c.exchange(x)
+	return all[root].(int)
+}
+
+// BcastString broadcasts a string from root.
+func (c *Comm) BcastString(root int, s string) string {
+	c.checkPeer(root)
+	all := c.exchange(s)
+	return all[root].(string)
+}
+
+// GatherFloat64s gathers each rank's slice at root. Root receives one copy
+// per rank (indexed by rank); other ranks receive nil.
+func (c *Comm) GatherFloat64s(root int, x []float64) [][]float64 {
+	c.checkPeer(root)
+	all := c.exchange(x)
+	if c.rank != root {
+		return nil
+	}
+	out := make([][]float64, len(all))
+	for i, a := range all {
+		src := a.([]float64)
+		out[i] = make([]float64, len(src))
+		copy(out[i], src)
+	}
+	return out
+}
+
+// GatherVFloat64s gathers variable-length slices at root, concatenated in
+// rank order. Non-root ranks receive nil.
+func (c *Comm) GatherVFloat64s(root int, x []float64) []float64 {
+	parts := c.GatherFloat64s(root, x)
+	if parts == nil {
+		return nil
+	}
+	n := 0
+	for _, p := range parts {
+		n += len(p)
+	}
+	out := make([]float64, 0, n)
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
+}
+
+// ScatterVFloat64s distributes parts[i] from root to rank i. Non-root
+// ranks pass nil parts. Each rank receives a private copy of its part.
+func (c *Comm) ScatterVFloat64s(root int, parts [][]float64) []float64 {
+	c.checkPeer(root)
+	var contrib any
+	if c.rank == root {
+		if len(parts) != c.w.size {
+			panic(fmt.Sprintf("comm: ScatterVFloat64s needs %d parts, got %d", c.w.size, len(parts)))
+		}
+		contrib = parts
+	}
+	all := c.exchange(contrib)
+	src := all[root].([][]float64)[c.rank]
+	out := make([]float64, len(src))
+	copy(out, src)
+	return out
+}
+
+// ExScanInt returns the exclusive prefix sum of x over ranks: rank r gets
+// sum of contributions from ranks 0..r-1 (0 on rank 0).
+func (c *Comm) ExScanInt(x int) int {
+	all := c.AllGatherInt(x)
+	acc := 0
+	for r := 0; r < c.rank; r++ {
+		acc += all[r]
+	}
+	return acc
+}
+
+// ReduceFloat64 combines one float64 per rank with op at root only;
+// other ranks receive 0 (as MPI_Reduce leaves their buffers undefined,
+// here defined as zero for safety).
+func (c *Comm) ReduceFloat64(root int, x float64, op Op) float64 {
+	c.checkPeer(root)
+	all := c.exchange(x)
+	if c.rank != root {
+		return 0
+	}
+	acc := all[0].(float64)
+	for _, a := range all[1:] {
+		acc = op.foldFloat64(acc, a.(float64))
+	}
+	return acc
+}
+
+// ReduceInt combines one int per rank with op at root only.
+func (c *Comm) ReduceInt(root int, x int, op Op) int {
+	c.checkPeer(root)
+	all := c.exchange(x)
+	if c.rank != root {
+		return 0
+	}
+	acc := all[0].(int)
+	for _, a := range all[1:] {
+		acc = op.foldInt(acc, a.(int))
+	}
+	return acc
+}

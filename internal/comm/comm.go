@@ -1,0 +1,129 @@
+// Package comm provides an in-process message-passing runtime that plays the
+// role MPI plays in the CCA-LISI paper: an SPMD world of ranks that share no
+// mutable memory and interact only through typed point-to-point messages and
+// collectives.
+//
+// Each rank is a goroutine. Message payloads are copied on send, so the
+// runtime preserves distributed-memory semantics: a rank can never observe
+// another rank's writes except through an explicit message. Collective
+// operations follow the MPI contract — every rank of a World must call the
+// same sequence of collectives, each with compatible arguments.
+//
+// The package is intentionally shaped like a small MPI subset (ranks, tags,
+// Send/Recv, Barrier, Bcast, Reduce, AllReduce, Gather, AllGather, Scatter)
+// so that the solver substrates built on top of it exercise the same code
+// paths a cluster implementation would.
+package comm
+
+import (
+	"fmt"
+	"sync"
+)
+
+// AnySource matches messages from any sending rank in Recv.
+const AnySource = -1
+
+// AnyTag matches messages with any tag in Recv.
+const AnyTag = -1
+
+// World is a fixed-size set of communicating ranks. Create one with
+// NewWorld and execute an SPMD region with Run.
+type World struct {
+	size  int
+	mail  []*mailbox
+	bar   *barrier
+	coll  []any // per-rank exchange slots for collectives
+	abort chan struct{}
+	once  sync.Once
+}
+
+// NewWorld creates a world with the given number of ranks. size must be
+// at least 1.
+func NewWorld(size int) (*World, error) {
+	if size < 1 {
+		return nil, fmt.Errorf("comm: world size must be >= 1, got %d", size)
+	}
+	w := &World{
+		size:  size,
+		mail:  make([]*mailbox, size),
+		coll:  make([]any, size),
+		abort: make(chan struct{}),
+	}
+	for i := range w.mail {
+		w.mail[i] = newMailbox()
+	}
+	w.bar = newBarrier(size, w.abort)
+	return w, nil
+}
+
+// Size returns the number of ranks in the world.
+func (w *World) Size() int { return w.size }
+
+// Abort poisons the world: every blocked or future communication call
+// panics with ErrAborted. Run recovers those panics. Abort is safe to call
+// multiple times and from any goroutine.
+func (w *World) Abort() {
+	w.once.Do(func() {
+		close(w.abort)
+		for _, m := range w.mail {
+			m.abortAll()
+		}
+		w.bar.abortAll()
+	})
+}
+
+// ErrAborted is the panic value raised in ranks blocked on communication
+// when the world is aborted (typically because another rank panicked).
+var ErrAborted = fmt.Errorf("comm: world aborted")
+
+// Run executes fn once per rank, concurrently, and waits for all ranks to
+// finish. If any rank panics, the world is aborted so the remaining ranks
+// cannot deadlock, and Run returns an error describing the first panic.
+// A World may host many consecutive Run regions, but not concurrent ones.
+func (w *World) Run(fn func(c *Comm)) (err error) {
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	wg.Add(w.size)
+	for r := 0; r < w.size; r++ {
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					mu.Lock()
+					if firstErr == nil && p != ErrAborted {
+						firstErr = fmt.Errorf("comm: rank %d panicked: %v", rank, p)
+					}
+					mu.Unlock()
+					w.Abort()
+				}
+			}()
+			fn(&Comm{w: w, rank: rank})
+		}(r)
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// Comm is one rank's handle on its World. All communication methods are
+// invoked on a Comm and are only valid inside the Run region that created
+// it.
+type Comm struct {
+	w    *World
+	rank int
+}
+
+// Rank returns this rank's id in [0, Size).
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the number of ranks in the world.
+func (c *Comm) Size() int { return c.w.size }
+
+// World returns the underlying world.
+func (c *Comm) World() *World { return c.w }
+
+func (c *Comm) checkPeer(peer int) {
+	if peer < 0 || peer >= c.w.size {
+		panic(fmt.Sprintf("comm: rank %d used invalid peer %d (world size %d)", c.rank, peer, c.w.size))
+	}
+}

@@ -1,0 +1,75 @@
+package comm
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Benchmarks of the message-passing primitives: these set the floor for
+// every distributed kernel built on top of the runtime.
+
+func benchWorld(b *testing.B, p int, fn func(c *Comm, n int)) {
+	b.Helper()
+	w, err := NewWorld(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := w.Run(func(c *Comm) {
+		fn(c, b.N)
+	}); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkBarrier(b *testing.B) {
+	for _, p := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
+			benchWorld(b, p, func(c *Comm, n int) {
+				for i := 0; i < n; i++ {
+					c.Barrier()
+				}
+			})
+		})
+	}
+}
+
+func BenchmarkAllReduceFloat64(b *testing.B) {
+	for _, p := range []int{2, 8} {
+		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
+			benchWorld(b, p, func(c *Comm, n int) {
+				for i := 0; i < n; i++ {
+					c.AllReduceFloat64(float64(c.Rank()), OpSum)
+				}
+			})
+		})
+	}
+}
+
+func BenchmarkPingPong(b *testing.B) {
+	for _, size := range []int{16, 1024, 65536} {
+		b.Run(fmt.Sprintf("floats=%d", size), func(b *testing.B) {
+			b.SetBytes(int64(size * 8 * 2))
+			benchWorld(b, 2, func(c *Comm, n int) {
+				buf := make([]float64, size)
+				for i := 0; i < n; i++ {
+					if c.Rank() == 0 {
+						c.SendFloat64s(1, 0, buf)
+						c.RecvFloat64s(1, 1)
+					} else {
+						c.RecvFloat64s(0, 0)
+						c.SendFloat64s(0, 1, buf)
+					}
+				}
+			})
+		})
+	}
+}
+
+func BenchmarkAllGatherV(b *testing.B) {
+	benchWorld(b, 4, func(c *Comm, n int) {
+		local := make([]float64, 1000)
+		for i := 0; i < n; i++ {
+			c.AllGatherVFloat64s(local)
+		}
+	})
+}

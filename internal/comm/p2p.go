@@ -1,0 +1,139 @@
+package comm
+
+import "sync"
+
+// message is one in-flight point-to-point payload.
+type message struct {
+	src  int
+	tag  int
+	data any
+}
+
+// mailbox holds unmatched incoming messages for one rank.
+type mailbox struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []message
+	aborted bool
+}
+
+func newMailbox() *mailbox {
+	m := &mailbox{}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+func (m *mailbox) put(msg message) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.aborted {
+		panic(ErrAborted)
+	}
+	m.queue = append(m.queue, msg)
+	m.cond.Broadcast()
+}
+
+// take blocks until a message matching (src, tag) is available and removes
+// it from the queue. Matching is FIFO among matching messages, which gives
+// MPI's non-overtaking guarantee per (src, tag) pair.
+func (m *mailbox) take(src, tag int) message {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for {
+		if m.aborted {
+			panic(ErrAborted)
+		}
+		for i, msg := range m.queue {
+			if (src == AnySource || msg.src == src) && (tag == AnyTag || msg.tag == tag) {
+				m.queue = append(m.queue[:i], m.queue[i+1:]...)
+				return msg
+			}
+		}
+		m.cond.Wait()
+	}
+}
+
+func (m *mailbox) abortAll() {
+	m.mu.Lock()
+	m.aborted = true
+	m.cond.Broadcast()
+	m.mu.Unlock()
+}
+
+// send delivers a payload to dest. The payload must already be an owned
+// copy; the typed wrappers below take care of copying.
+func (c *Comm) send(dest, tag int, data any) {
+	c.checkPeer(dest)
+	c.w.mail[dest].put(message{src: c.rank, tag: tag, data: data})
+}
+
+// recv blocks for a payload matching (src, tag) and returns it together
+// with the actual source rank.
+func (c *Comm) recv(src, tag int) (any, int) {
+	if src != AnySource {
+		c.checkPeer(src)
+	}
+	msg := c.w.mail[c.rank].take(src, tag)
+	return msg.data, msg.src
+}
+
+// SendFloat64s sends a copy of x to dest with the given tag. The caller
+// keeps ownership of x.
+func (c *Comm) SendFloat64s(dest, tag int, x []float64) {
+	cp := make([]float64, len(x))
+	copy(cp, x)
+	c.send(dest, tag, cp)
+}
+
+// RecvFloat64s receives a []float64 matching (src, tag). It returns the
+// payload and the actual source rank. It panics if the matched message has
+// a different payload type, which indicates mismatched send/recv pairing.
+func (c *Comm) RecvFloat64s(src, tag int) ([]float64, int) {
+	data, from := c.recv(src, tag)
+	x, ok := data.([]float64)
+	if !ok {
+		panic("comm: RecvFloat64s matched a message whose payload is not []float64")
+	}
+	return x, from
+}
+
+// SendInts sends a copy of x to dest with the given tag.
+func (c *Comm) SendInts(dest, tag int, x []int) {
+	cp := make([]int, len(x))
+	copy(cp, x)
+	c.send(dest, tag, cp)
+}
+
+// RecvInts receives a []int matching (src, tag) and the actual source rank.
+func (c *Comm) RecvInts(src, tag int) ([]int, int) {
+	data, from := c.recv(src, tag)
+	x, ok := data.([]int)
+	if !ok {
+		panic("comm: RecvInts matched a message whose payload is not []int")
+	}
+	return x, from
+}
+
+// SendString sends a string to dest with the given tag.
+func (c *Comm) SendString(dest, tag int, s string) {
+	c.send(dest, tag, s)
+}
+
+// RecvString receives a string matching (src, tag) and the source rank.
+func (c *Comm) RecvString(src, tag int) (string, int) {
+	data, from := c.recv(src, tag)
+	s, ok := data.(string)
+	if !ok {
+		panic("comm: RecvString matched a message whose payload is not string")
+	}
+	return s, from
+}
+
+// SendRecvFloat64s performs a simultaneous send to dest and receive from
+// src on the same tag, as in MPI_Sendrecv. It is deadlock-free even when
+// dest == src == a neighbor performing the mirror call.
+func (c *Comm) SendRecvFloat64s(dest, tag int, x []float64, src int) []float64 {
+	c.SendFloat64s(dest, tag, x)
+	y, _ := c.RecvFloat64s(src, tag)
+	return y
+}

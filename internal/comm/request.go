@@ -1,0 +1,51 @@
+package comm
+
+// FloatRequest is a pending nonblocking receive of a []float64 payload.
+type FloatRequest struct {
+	done chan struct{}
+	data []float64
+	src  int
+}
+
+// IRecvFloat64s posts a nonblocking receive matching (src, tag). The
+// matching message is consumed as soon as it arrives, preserving the
+// non-overtaking order relative to later receives posted on the same
+// (src, tag). Call Wait to obtain the payload.
+//
+// Sends in this runtime never block (mailboxes are unbounded), so a
+// nonblocking send primitive would be identical to Send and is not
+// provided.
+func (c *Comm) IRecvFloat64s(src, tag int) *FloatRequest {
+	req := &FloatRequest{done: make(chan struct{})}
+	go func() {
+		defer close(req.done)
+		defer func() {
+			// An aborted world panics the receiver goroutine; convert it
+			// into a completed request so Wait can re-panic on the
+			// caller's stack instead of killing an anonymous goroutine.
+			if p := recover(); p != nil {
+				req.data = nil
+				req.src = -1
+			}
+		}()
+		req.data, req.src = c.RecvFloat64s(src, tag)
+	}()
+	return req
+}
+
+// Wait blocks until the receive completes and returns the payload and
+// source rank. Waiting on an aborted world returns (nil, -1).
+func (r *FloatRequest) Wait() ([]float64, int) {
+	<-r.done
+	return r.data, r.src
+}
+
+// Test reports whether the receive has completed without blocking.
+func (r *FloatRequest) Test() bool {
+	select {
+	case <-r.done:
+		return true
+	default:
+		return false
+	}
+}

@@ -1,0 +1,58 @@
+package comm
+
+import "sort"
+
+// tagSplit is reserved for Split's internal handshake.
+const tagSplit = 0x5350
+
+// Split partitions the communicator into sub-communicators by color,
+// as MPI_Comm_split does: every rank passing the same color lands in the
+// same sub-communicator, with sub-ranks ordered by (key, parent rank).
+// Collective over the parent communicator.
+//
+// The returned communicator supports the full operation set. Its abort
+// domain is independent of the parent's: a Run-level panic aborts the
+// parent world, so code holding sub-communicators should not continue
+// using them after any rank fails.
+func (c *Comm) Split(color, key int) *Comm {
+	// Publish (color, key) pairs.
+	all := c.AllGatherInts([]int{color, key})
+	type member struct{ rank, key int }
+	var group []member
+	for r, ck := range all {
+		if ck[0] == color {
+			group = append(group, member{rank: r, key: ck[1]})
+		}
+	}
+	sort.Slice(group, func(i, j int) bool {
+		if group[i].key != group[j].key {
+			return group[i].key < group[j].key
+		}
+		return group[i].rank < group[j].rank
+	})
+	myIdx := -1
+	for i, m := range group {
+		if m.rank == c.rank {
+			myIdx = i
+		}
+	}
+
+	// The group leader allocates the shared sub-world and distributes the
+	// handle; in-process message payloads may carry pointers.
+	if myIdx == 0 {
+		sw, err := NewWorld(len(group))
+		if err != nil {
+			panic(err) // group size is ≥ 1 by construction
+		}
+		for i := 1; i < len(group); i++ {
+			c.send(group[i].rank, tagSplit, sw)
+		}
+		return &Comm{w: sw, rank: 0}
+	}
+	data, _ := c.recv(group[0].rank, tagSplit)
+	sw, ok := data.(*World)
+	if !ok {
+		panic("comm: Split handshake received unexpected payload")
+	}
+	return &Comm{w: sw, rank: myIdx}
+}

@@ -1,0 +1,151 @@
+package comm
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSplitByParity(t *testing.T) {
+	run(t, 6, func(c *Comm) {
+		sub := c.Split(c.Rank()%2, c.Rank())
+		if sub.Size() != 3 {
+			t.Errorf("rank %d: sub size %d, want 3", c.Rank(), sub.Size())
+		}
+		// Sub-rank follows parent order for equal keys.
+		wantRank := c.Rank() / 2
+		if sub.Rank() != wantRank {
+			t.Errorf("rank %d: sub rank %d, want %d", c.Rank(), sub.Rank(), wantRank)
+		}
+		// Collectives work within the group: sum of parent ranks with my
+		// parity.
+		got := sub.AllReduceInt(c.Rank(), OpSum)
+		want := map[int]int{0: 0 + 2 + 4, 1: 1 + 3 + 5}[c.Rank()%2]
+		if got != want {
+			t.Errorf("rank %d: group sum %d, want %d", c.Rank(), got, want)
+		}
+		// Point-to-point within the group.
+		next := (sub.Rank() + 1) % sub.Size()
+		prev := (sub.Rank() - 1 + sub.Size()) % sub.Size()
+		sub.SendInts(next, 9, []int{c.Rank()})
+		msg, _ := sub.RecvInts(prev, 9)
+		if msg[0]%2 != c.Rank()%2 {
+			t.Errorf("rank %d: received from other parity group", c.Rank())
+		}
+	})
+}
+
+func TestSplitKeyOrdering(t *testing.T) {
+	run(t, 4, func(c *Comm) {
+		// Reverse ordering via keys: sub-rank = size-1-parentRank.
+		sub := c.Split(0, -c.Rank())
+		if sub.Rank() != c.Size()-1-c.Rank() {
+			t.Errorf("rank %d: sub rank %d", c.Rank(), sub.Rank())
+		}
+	})
+}
+
+func TestSplitSingletons(t *testing.T) {
+	run(t, 3, func(c *Comm) {
+		sub := c.Split(c.Rank(), 0) // every rank its own color
+		if sub.Size() != 1 || sub.Rank() != 0 {
+			t.Errorf("rank %d: singleton wrong: size %d rank %d", c.Rank(), sub.Size(), sub.Rank())
+		}
+		if got := sub.AllReduceInt(41, OpSum); got != 41 {
+			t.Errorf("singleton allreduce = %d", got)
+		}
+	})
+}
+
+// Property: Split partitions — each rank lands in exactly one group whose
+// size equals the number of ranks sharing its color.
+func TestQuickSplitPartition(t *testing.T) {
+	f := func(colorSeed uint8, psize uint8) bool {
+		p := int(psize)%6 + 2
+		colors := make([]int, p)
+		s := int(colorSeed)
+		for i := range colors {
+			colors[i] = (i*s + s) % 3
+		}
+		counts := map[int]int{}
+		for _, col := range colors {
+			counts[col]++
+		}
+		w, err := NewWorld(p)
+		if err != nil {
+			return false
+		}
+		ok := true
+		err = w.Run(func(c *Comm) {
+			sub := c.Split(colors[c.Rank()], 0)
+			if sub.Size() != counts[colors[c.Rank()]] {
+				ok = false
+			}
+			if sub.Rank() < 0 || sub.Rank() >= sub.Size() {
+				ok = false
+			}
+		})
+		return err == nil && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIRecvOverlapsWork(t *testing.T) {
+	run(t, 2, func(c *Comm) {
+		if c.Rank() == 0 {
+			req := c.IRecvFloat64s(1, 3)
+			// Do "work" while the message is in flight.
+			sum := 0.0
+			for i := 0; i < 1000; i++ {
+				sum += float64(i)
+			}
+			data, src := req.Wait()
+			if src != 1 || len(data) != 2 || data[0] != 7 {
+				t.Errorf("IRecv got %v from %d", data, src)
+			}
+			_ = sum
+		} else {
+			c.SendFloat64s(0, 3, []float64{7, 8})
+		}
+	})
+}
+
+func TestIRecvTest(t *testing.T) {
+	run(t, 2, func(c *Comm) {
+		if c.Rank() == 0 {
+			req := c.IRecvFloat64s(1, 1)
+			// Not completed before the sender acts (barrier orders it).
+			c.Barrier() // sender sends after this barrier
+			data, _ := req.Wait()
+			if !req.Test() {
+				t.Error("Test() false after Wait()")
+			}
+			if data[0] != 5 {
+				t.Errorf("payload %v", data)
+			}
+		} else {
+			c.Barrier()
+			c.SendFloat64s(0, 1, []float64{5})
+		}
+	})
+}
+
+func TestIRecvOnAbortedWorld(t *testing.T) {
+	w := mustWorld(t, 2)
+	err := w.Run(func(c *Comm) {
+		if c.Rank() == 0 {
+			req := c.IRecvFloat64s(1, 0) // never satisfied
+			c.Barrier()                  // aborted by rank 1's panic
+			data, src := req.Wait()
+			if data != nil || src != -1 {
+				t.Errorf("aborted IRecv returned %v, %d", data, src)
+			}
+		} else {
+			panic("boom")
+		}
+	})
+	if err == nil {
+		t.Fatal("expected error from panicking rank")
+	}
+}

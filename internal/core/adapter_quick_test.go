@@ -1,0 +1,151 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/comm"
+	"repro/internal/sparse"
+)
+
+// solveVia stages a through one format path on a fresh component and
+// returns the solution of a·x = b.
+func solveVia(t *testing.T, c *comm.Comm, a *sparse.CSR, b []float64, stage func(s SparseSolver) int) []float64 {
+	t.Helper()
+	n := a.Rows
+	s := NewKSPComponent()
+	mustOK(t, s.Initialize(c), "init")
+	mustOK(t, s.SetStartRow(0), "start")
+	mustOK(t, s.SetLocalRows(n), "rows")
+	mustOK(t, s.SetGlobalCols(n), "cols")
+	if code := stage(s); code != OK {
+		t.Fatalf("stage: %v", Check(code))
+	}
+	mustOK(t, s.SetupRHS(b, n, 1), "rhs")
+	mustOK(t, s.Set("tol", "1e-12"), "tol")
+	x := make([]float64, n)
+	status := make([]float64, StatusLen)
+	mustOK(t, s.Solve(x, status, n, StatusLen), "solve")
+	return x
+}
+
+// Property: the CSR, COO, MSR and 1-based-offset staging paths all
+// produce the same solution — the adapter conversions are equivalent.
+func TestQuickFormatPathsEquivalent(t *testing.T) {
+	f := func(seed int64) bool {
+		n := 8 + int(seed%10+10)%10
+		a := sparse.RandomDiagDominant(n, 3, seed)
+		b := sparse.RandomVector(n, seed+3)
+		equal := true
+		w, err := comm.NewWorld(1)
+		if err != nil {
+			return false
+		}
+		err = w.Run(func(c *comm.Comm) {
+			ref := solveVia(t, c, a, b, func(s SparseSolver) int {
+				return s.SetupMatrix(a.Vals, a.RowPtr, a.ColInd, CSR, n+1, a.NNZ())
+			})
+			coo := a.ToCOO()
+			viaCOO := solveVia(t, c, a, b, func(s SparseSolver) int {
+				return s.SetupMatrixCOO(coo.Val, coo.Row, coo.Col, len(coo.Val))
+			})
+			msr, errM := sparse.MSRFromCSR(a)
+			if errM != nil {
+				equal = false
+				return
+			}
+			viaMSR := solveVia(t, c, a, b, func(s SparseSolver) int {
+				return s.SetupMatrix(msr.Val, msr.Ind, msr.Ind, MSR, len(msr.Ind), a.NNZ())
+			})
+			rp1 := make([]int, len(a.RowPtr))
+			for i, v := range a.RowPtr {
+				rp1[i] = v + 1
+			}
+			ci1 := make([]int, len(a.ColInd))
+			for i, v := range a.ColInd {
+				ci1[i] = v + 1
+			}
+			viaOffset := solveVia(t, c, a, b, func(s SparseSolver) int {
+				return s.SetupMatrixOffset(a.Vals, rp1, ci1, CSR, n+1, a.NNZ(), 1)
+			})
+			for i := range ref {
+				if math.Abs(ref[i]-viaCOO[i]) > 1e-9 ||
+					math.Abs(ref[i]-viaMSR[i]) > 1e-9 ||
+					math.Abs(ref[i]-viaOffset[i]) > 1e-9 {
+					equal = false
+				}
+			}
+		})
+		return err == nil && equal
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRArrayInSemantics verifies the §6.2 r-array contract: setupMatrix
+// and setupRHS arguments are `in` parameters — the component must not be
+// affected by the caller mutating (or reusing) the arrays afterwards.
+func TestRArrayInSemantics(t *testing.T) {
+	a := sparse.RandomDiagDominant(12, 3, 8)
+	xstar := sparse.RandomVector(12, 2)
+	b := make([]float64, 12)
+	a.MulVec(b, xstar)
+	run(t, 1, func(c *comm.Comm) {
+		s := NewSLUComponent()
+		mustOK(t, s.Initialize(c), "init")
+		mustOK(t, s.SetStartRow(0), "start")
+		mustOK(t, s.SetLocalRows(12), "rows")
+		mustOK(t, s.SetGlobalCols(12), "cols")
+
+		vals := append([]float64(nil), a.Vals...)
+		rp := append([]int(nil), a.RowPtr...)
+		ci := append([]int(nil), a.ColInd...)
+		rhs := append([]float64(nil), b...)
+		mustOK(t, s.SetupMatrix(vals, rp, ci, CSR, len(rp), a.NNZ()), "setup")
+		mustOK(t, s.SetupRHS(rhs, 12, 1), "rhs")
+
+		// Scribble over every input array before Solve.
+		for i := range vals {
+			vals[i] = -999
+		}
+		for i := range ci {
+			ci[i] = 0
+		}
+		for i := range rp {
+			rp[i] = 0
+		}
+		for i := range rhs {
+			rhs[i] = -999
+		}
+
+		x := make([]float64, 12)
+		status := make([]float64, StatusLen)
+		mustOK(t, s.Solve(x, status, 12, StatusLen), "solve")
+		for i := range x {
+			if math.Abs(x[i]-xstar[i]) > 1e-8 {
+				t.Fatalf("caller mutation leaked into the solve: x[%d] err %g", i, math.Abs(x[i]-xstar[i]))
+			}
+		}
+	})
+}
+
+// TestSolutionArrayIsInout verifies Solve writes through the caller's
+// Solution slice (inout r-array), not a private copy.
+func TestSolutionArrayIsInout(t *testing.T) {
+	a := sparse.Identity(4)
+	run(t, 1, func(c *comm.Comm) {
+		s := NewKSPComponent()
+		setupComponent(t, c, s, a, []float64{4, 3, 2, 1})
+		backing := make([]float64, 4)
+		status := make([]float64, StatusLen)
+		mustOK(t, s.Solve(backing, status, 4, StatusLen), "solve")
+		want := []float64{4, 3, 2, 1}
+		for i := range backing {
+			if math.Abs(backing[i]-want[i]) > 1e-10 {
+				t.Fatalf("solution not written through caller slice: %v", backing)
+			}
+		}
+	})
+}

@@ -1,0 +1,269 @@
+package core
+
+import (
+	"strconv"
+
+	"repro/internal/aztec"
+	"repro/internal/cca"
+	"repro/internal/pmat"
+)
+
+// AztecComponent is the LISI solver component backed by the
+// Trilinos-role aztec package. Unlike the ksp component — whose backend
+// takes string options — this adapter must translate LISI's generic
+// string parameters into Aztec's integer option and double parameter
+// arrays, demonstrating that one interface spans heterogeneous control
+// surfaces (the paper's core claim).
+type AztecComponent struct {
+	baseAdapter
+
+	crs      *aztec.CrsMatrix
+	builtVer int
+}
+
+var _ SparseSolver = (*AztecComponent)(nil)
+var _ cca.Component = (*AztecComponent)(nil)
+
+// NewAztecComponent returns an unconfigured component (CCA class
+// ClassAztecSolver).
+func NewAztecComponent() *AztecComponent {
+	return &AztecComponent{baseAdapter: newBaseAdapter("lisi.solver.aztec")}
+}
+
+// SetServices implements cca.Component.
+func (ac *AztecComponent) SetServices(svc cca.Services) error {
+	return ac.baseAdapter.setServices(svc, ac)
+}
+
+// aztecSolverNames maps LISI "solver" values to AZ solver ids.
+var aztecSolverNames = map[string]int{
+	"cg":       aztec.AZCG,
+	"gmres":    aztec.AZGMRES,
+	"cgs":      aztec.AZCGS,
+	"bicgstab": aztec.AZBiCGStab,
+}
+
+// aztecPCNames maps LISI "preconditioner" values to AZ precond ids.
+var aztecPCNames = map[string]int{
+	"none":      aztec.AZNone,
+	"jacobi":    aztec.AZJacobi,
+	"neumann":   aztec.AZNeumann,
+	"ls":        aztec.AZLs,
+	"symgs":     aztec.AZSymGS,
+	"domdecomp": aztec.AZDomDecomp,
+	"ilut":      aztec.AZDomDecomp,
+	"ilu":       aztec.AZDomDecomp, // closest Aztec analogue of generic "ilu"
+}
+
+var aztecScalingNames = map[string]int{
+	"none":   aztec.AZNoScaling,
+	"rowsum": aztec.AZRowSum,
+}
+
+var aztecConvNames = map[string]int{
+	"r0":    aztec.AZr0,
+	"rhs":   aztec.AZrhs,
+	"anorm": aztec.AZAnorm,
+}
+
+// Set validates and stores a generic parameter (§6.5).
+func (ac *AztecComponent) Set(key, value string) int {
+	switch key {
+	case "solver":
+		if _, ok := aztecSolverNames[value]; !ok {
+			return ErrBadArg
+		}
+	case "preconditioner":
+		if _, ok := aztecPCNames[value]; !ok {
+			return ErrBadArg
+		}
+	case "scaling":
+		if _, ok := aztecScalingNames[value]; !ok {
+			return ErrBadArg
+		}
+	case "conv":
+		if _, ok := aztecConvNames[value]; !ok {
+			return ErrBadArg
+		}
+	case "tol":
+		if v, err := strconv.ParseFloat(value, 64); err != nil || v <= 0 {
+			return ErrBadArg
+		}
+	case "drop_tol":
+		if v, err := strconv.ParseFloat(value, 64); err != nil || v < 0 {
+			return ErrBadArg
+		}
+	case "fill":
+		if v, err := strconv.ParseFloat(value, 64); err != nil || v <= 0 {
+			return ErrBadArg
+		}
+	case "maxits", "restart":
+		if v, err := strconv.Atoi(value); err != nil || v < 1 {
+			return ErrBadArg
+		}
+	case "poly_ord", "overlap":
+		if v, err := strconv.Atoi(value); err != nil || v < 0 {
+			return ErrBadArg
+		}
+	default:
+		return ErrUnknownKey
+	}
+	ac.storeParam(key, value)
+	return OK
+}
+
+// SetInt routes through Set so validation is uniform.
+func (ac *AztecComponent) SetInt(key string, value int) int {
+	return ac.Set(key, strconv.Itoa(value))
+}
+
+// SetBool routes through Set.
+func (ac *AztecComponent) SetBool(key string, value bool) int {
+	return ac.Set(key, strconv.FormatBool(value))
+}
+
+// SetDouble routes through Set.
+func (ac *AztecComponent) SetDouble(key string, value float64) int {
+	return ac.Set(key, strconv.FormatFloat(value, 'g', -1, 64))
+}
+
+// GetAll reports the configuration (§7.2).
+func (ac *AztecComponent) GetAll() string {
+	return ac.getAll(map[string]string{
+		"backend":        "aztec (Trilinos-role)",
+		"matrix_free":    strconv.FormatBool(ac.mf != nil),
+		"factorizations": strconv.Itoa(ac.factorizations),
+	})
+}
+
+// configure builds the solver and fills its AZ_* arrays from the LISI
+// parameter store.
+func (ac *AztecComponent) configure() *aztec.Solver {
+	s := aztec.NewSolver(ac.c)
+	o := s.Options()
+	p := s.Params()
+	if v, ok := ac.params["solver"]; ok {
+		o[aztec.AZSolver] = aztecSolverNames[v]
+	}
+	if v, ok := ac.params["preconditioner"]; ok {
+		o[aztec.AZPrecond] = aztecPCNames[v]
+	} else if ac.mf == nil {
+		o[aztec.AZPrecond] = aztec.AZDomDecomp
+	}
+	if ac.mf != nil {
+		o[aztec.AZPrecond] = aztec.AZNone
+	}
+	if v, ok := ac.params["scaling"]; ok {
+		o[aztec.AZScaling] = aztecScalingNames[v]
+	}
+	if v, ok := ac.params["conv"]; ok {
+		o[aztec.AZConv] = aztecConvNames[v]
+	}
+	if v, ok := ac.params["tol"]; ok {
+		p[aztec.AZTol], _ = strconv.ParseFloat(v, 64)
+	}
+	if v, ok := ac.params["drop_tol"]; ok {
+		p[aztec.AZDrop], _ = strconv.ParseFloat(v, 64)
+	}
+	if v, ok := ac.params["fill"]; ok {
+		p[aztec.AZIlutFill], _ = strconv.ParseFloat(v, 64)
+	}
+	if v, ok := ac.params["maxits"]; ok {
+		o[aztec.AZMaxIter], _ = strconv.Atoi(v)
+	} else {
+		o[aztec.AZMaxIter] = 10000
+	}
+	if v, ok := ac.params["restart"]; ok {
+		o[aztec.AZKspace], _ = strconv.Atoi(v)
+	}
+	if v, ok := ac.params["poly_ord"]; ok {
+		o[aztec.AZPolyOrd], _ = strconv.Atoi(v)
+	}
+	if v, ok := ac.params["overlap"]; ok {
+		o[aztec.AZOverlap], _ = strconv.Atoi(v)
+	}
+	return s
+}
+
+// Solve implements the LISI solve on the aztec backend.
+func (ac *AztecComponent) Solve(solution []float64, status []float64, numLocalRow, statusLength int) int {
+	if code := ac.solvePrep(solution, status, numLocalRow); code != OK {
+		return code
+	}
+	l, err := ac.buildLayout()
+	if err != nil {
+		return ErrBadArg
+	}
+
+	s := ac.configure()
+	if ac.mf != nil {
+		mf := ac.mf
+		m := aztecMapFromLayout(l)
+		s.SetUserOperator(&lisiOperator{m: m, mf: mf})
+	} else {
+		if ac.crs == nil || ac.builtVer != ac.matVer {
+			m := aztecMapFromLayout(l)
+			crs := aztec.NewCrsMatrix(m)
+			for li := 0; li < ac.localRows; li++ {
+				cols, vals := ac.localA.RowView(li)
+				if err := crs.InsertGlobalValues(ac.startRow+li, cols, vals); err != nil {
+					return ErrBadArg
+				}
+			}
+			if err := crs.FillComplete(); err != nil {
+				return ErrBadArg
+			}
+			ac.crs = crs
+			ac.builtVer = ac.matVer
+			ac.factorizations++
+		}
+		s.SetUserMatrix(ac.crs)
+	}
+
+	totalIts := 0
+	lastNorm := 0.0
+	for r := 0; r < ac.nRhs; r++ {
+		b := ac.rhs[r*numLocalRow : (r+1)*numLocalRow]
+		x := solution[r*numLocalRow : (r+1)*numLocalRow]
+		for i := range x {
+			x[i] = 0
+		}
+		if err := s.Solve(x, b); err != nil {
+			writeStatus(status, statusLength, s.NumIters(), s.Status()[aztec.AZr], false, ac.factorizations)
+			return ErrSolveFailed
+		}
+		totalIts += s.NumIters()
+		lastNorm = s.Status()[aztec.AZr]
+	}
+	writeStatus(status, statusLength, totalIts, lastNorm, true, ac.factorizations)
+	return OK
+}
+
+// aztecMapFromLayout rebuilds an aztec.Map over an existing layout
+// (collective; all ranks reach this in lockstep from Solve).
+func aztecMapFromLayout(l *pmat.Layout) *aztec.Map {
+	m, err := aztec.NewMapWithLocal(l.Comm(), l.LocalN)
+	if err != nil {
+		panic(err) // layout was already validated
+	}
+	return m
+}
+
+// lisiOperator adapts the application's MatrixFree port to an
+// aztec.Operator.
+type lisiOperator struct {
+	m  *aztec.Map
+	mf MatrixFree
+}
+
+func (o *lisiOperator) RowMap() *aztec.Map { return o.m }
+func (o *lisiOperator) Apply(y, x []float64) error {
+	if code := o.mf.MatMult(IDMatrix, x, y, len(x)); code != OK {
+		return Check(code)
+	}
+	return nil
+}
+
+func init() {
+	cca.RegisterClass(ClassAztecSolver, func() cca.Component { return NewAztecComponent() })
+}

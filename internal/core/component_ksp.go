@@ -1,0 +1,242 @@
+package core
+
+import (
+	"strconv"
+
+	"repro/internal/cca"
+	"repro/internal/ksp"
+	"repro/internal/pmat"
+)
+
+// KSPComponent is the LISI solver component backed by the PETSc-role ksp
+// package. Its translation table maps the generic LISI parameter
+// vocabulary onto ksp's option database, the same adaptation the paper's
+// PETSc component performs.
+type KSPComponent struct {
+	baseAdapter
+
+	op       *ksp.Mat
+	builtVer int // matrix version op was built from
+}
+
+var _ SparseSolver = (*KSPComponent)(nil)
+var _ cca.Component = (*KSPComponent)(nil)
+
+// NewKSPComponent returns an unconfigured component (CCA class
+// ClassKSPSolver).
+func NewKSPComponent() *KSPComponent {
+	return &KSPComponent{baseAdapter: newBaseAdapter("lisi.solver.ksp")}
+}
+
+// SetServices implements cca.Component.
+func (kc *KSPComponent) SetServices(svc cca.Services) error {
+	return kc.baseAdapter.setServices(svc, kc)
+}
+
+// kspSolverNames maps LISI "solver" values to ksp types.
+var kspSolverNames = map[string]string{
+	"cg":         ksp.TypeCG,
+	"gmres":      ksp.TypeGMRES,
+	"fgmres":     ksp.TypeFGMRES,
+	"bicgstab":   ksp.TypeBiCGStab,
+	"tfqmr":      ksp.TypeTFQMR,
+	"richardson": ksp.TypeRichardson,
+	"chebyshev":  ksp.TypeChebyshev,
+}
+
+// kspPCNames maps LISI "preconditioner" values to ksp PC types.
+var kspPCNames = map[string]string{
+	"none":    ksp.PCNone,
+	"jacobi":  ksp.PCJacobi,
+	"bjacobi": ksp.PCBJacobi,
+	"sor":     ksp.PCSOR,
+	"ssor":    ksp.PCSSOR,
+	"ilu":     ksp.PCILU,
+}
+
+// Set validates and stores a generic parameter (§6.5).
+func (kc *KSPComponent) Set(key, value string) int {
+	switch key {
+	case "solver":
+		if _, ok := kspSolverNames[value]; !ok {
+			return ErrBadArg
+		}
+	case "preconditioner":
+		if _, ok := kspPCNames[value]; !ok {
+			return ErrBadArg
+		}
+	case "tol", "atol":
+		if v, err := strconv.ParseFloat(value, 64); err != nil || v <= 0 {
+			return ErrBadArg
+		}
+	case "damping":
+		if v, err := strconv.ParseFloat(value, 64); err != nil || v <= 0 {
+			return ErrBadArg
+		}
+	case "maxits", "restart":
+		if v, err := strconv.Atoi(value); err != nil || v < 1 {
+			return ErrBadArg
+		}
+	case "matfree_pc":
+		if _, err := strconv.ParseBool(value); err != nil {
+			return ErrBadArg
+		}
+	default:
+		return ErrUnknownKey
+	}
+	kc.storeParam(key, value)
+	return OK
+}
+
+func (kc *KSPComponent) setChecked(key, value string) int { return kc.Set(key, value) }
+
+// SetInt routes through Set so validation is uniform.
+func (kc *KSPComponent) SetInt(key string, value int) int {
+	return kc.Set(key, strconv.Itoa(value))
+}
+
+// SetBool routes through Set.
+func (kc *KSPComponent) SetBool(key string, value bool) int {
+	return kc.Set(key, strconv.FormatBool(value))
+}
+
+// SetDouble routes through Set.
+func (kc *KSPComponent) SetDouble(key string, value float64) int {
+	return kc.Set(key, strconv.FormatFloat(value, 'g', -1, 64))
+}
+
+// GetAll reports the configuration (§7.2).
+func (kc *KSPComponent) GetAll() string {
+	return kc.getAll(map[string]string{
+		"backend":        "ksp (PETSc-role)",
+		"matrix_free":    strconv.FormatBool(kc.mf != nil),
+		"factorizations": strconv.Itoa(kc.factorizations),
+	})
+}
+
+// configure builds a KSP from the parameter store.
+func (kc *KSPComponent) configure() (*ksp.KSP, error) {
+	k := ksp.New(kc.c)
+	if v, ok := kc.params["solver"]; ok {
+		if err := k.SetType(kspSolverNames[v]); err != nil {
+			return nil, err
+		}
+	}
+	pcType := ksp.PCBJacobi
+	if v, ok := kc.params["preconditioner"]; ok {
+		pcType = kspPCNames[v]
+	}
+	if kc.mf != nil {
+		// Matrix-free: no assembled diagonal block exists. Use the
+		// application's preconditioner callback when offered, else none.
+		if v, ok := kc.params["matfree_pc"]; ok {
+			if use, _ := strconv.ParseBool(v); use {
+				k.SetPC(&matrixFreePC{mf: kc.mf})
+				pcType = ""
+			}
+		}
+		if pcType != "" {
+			if err := k.SetPCType(ksp.PCNone); err != nil {
+				return nil, err
+			}
+		}
+	} else if err := k.SetPCType(pcType); err != nil {
+		return nil, err
+	}
+	rtol, atol := -1.0, -1.0
+	maxits := -1
+	if v, ok := kc.params["tol"]; ok {
+		rtol, _ = strconv.ParseFloat(v, 64)
+	}
+	if v, ok := kc.params["atol"]; ok {
+		atol, _ = strconv.ParseFloat(v, 64)
+	}
+	if v, ok := kc.params["maxits"]; ok {
+		maxits, _ = strconv.Atoi(v)
+	}
+	k.SetTolerances(rtol, atol, -1, maxits)
+	if v, ok := kc.params["restart"]; ok {
+		m, _ := strconv.Atoi(v)
+		if err := k.SetRestart(m); err != nil {
+			return nil, err
+		}
+	}
+	if v, ok := kc.params["damping"]; ok {
+		s, _ := strconv.ParseFloat(v, 64)
+		if err := k.SetDamping(s); err != nil {
+			return nil, err
+		}
+	}
+	return k, nil
+}
+
+// matrixFreePC adapts the application's MatrixFree preconditioner
+// callback to a ksp.PC.
+type matrixFreePC struct {
+	mf MatrixFree
+}
+
+func (p *matrixFreePC) Type() string         { return "matrix-free" }
+func (p *matrixFreePC) SetUp(*ksp.Mat) error { return nil }
+func (p *matrixFreePC) Apply(z, r []float64) {
+	if code := p.mf.MatMult(IDPreconditioner, r, z, len(r)); code != OK {
+		panic(Check(code))
+	}
+}
+
+// Solve implements the LISI solve (§7.2) on the ksp backend.
+func (kc *KSPComponent) Solve(solution []float64, status []float64, numLocalRow, statusLength int) int {
+	if code := kc.solvePrep(solution, status, numLocalRow); code != OK {
+		return code
+	}
+	l, err := kc.buildLayout()
+	if err != nil {
+		return ErrBadArg
+	}
+
+	// (Re)build the operator only when the staged matrix changed —
+	// use case §5.2b/c reuse.
+	if kc.op == nil || kc.builtVer != kc.matVer || kc.op.Layout() == nil {
+		if kc.mf != nil {
+			mf := kc.mf
+			kc.op = ksp.NewShellMat(l, func(y, x []float64) {
+				if code := mf.MatMult(IDMatrix, x, y, len(x)); code != OK {
+					panic(Check(code))
+				}
+			})
+		} else {
+			pm, err := pmat.NewMat(l, kc.localA)
+			if err != nil {
+				return ErrBadArg
+			}
+			kc.op = ksp.NewMat(pm)
+		}
+		kc.builtVer = kc.matVer
+		kc.factorizations++
+	}
+
+	k, err := kc.configure()
+	if err != nil {
+		return ErrBadArg
+	}
+	k.SetOperators(kc.op)
+
+	totalIts := 0
+	lastNorm := 0.0
+	for r := 0; r < kc.nRhs; r++ {
+		b := kc.rhs[r*numLocalRow : (r+1)*numLocalRow]
+		x := solution[r*numLocalRow : (r+1)*numLocalRow]
+		if err := k.Solve(b, x); err != nil {
+			writeStatus(status, statusLength, k.Iterations(), k.ResidualNorm(), false, kc.factorizations)
+			return ErrSolveFailed
+		}
+		totalIts += k.Iterations()
+		lastNorm = k.ResidualNorm()
+	}
+	writeStatus(status, statusLength, totalIts, lastNorm, true, kc.factorizations)
+	return OK
+}
+
+func init() {
+	cca.RegisterClass(ClassKSPSolver, func() cca.Component { return NewKSPComponent() })
+}

@@ -1,0 +1,240 @@
+package core
+
+import (
+	"strconv"
+
+	"repro/internal/cca"
+	"repro/internal/mesh"
+	"repro/internal/mg"
+	"repro/internal/pmat"
+	"repro/internal/sparse"
+)
+
+// MGComponent is the multilevel LISI solver component (the paper's §5.2e
+// recursion, deferred there to future work). It is a *geometric*
+// multigrid for the paper's model PDE on an n×n grid: the component
+// rebuilds the grid hierarchy from its parameters, verifies that the
+// matrix staged through SetupMatrix is indeed the model operator, and —
+// demonstrating LISI re-entrancy — delegates the coarsest-level solve to
+// an inner SLUComponent *through the SparseSolver interface*.
+//
+// Required parameter: "grid_n" (odd; sizes 2^k−1 coarsen fully).
+// Optional: "convection" (default 3), "tol", "cycles", "omega",
+// "smooth_sweeps".
+type MGComponent struct {
+	baseAdapter
+
+	solver   *mg.Solver
+	builtVer int
+	coarse   *SLUComponent
+	coarseUp bool // coarse matrix already staged
+}
+
+var _ SparseSolver = (*MGComponent)(nil)
+var _ cca.Component = (*MGComponent)(nil)
+
+// NewMGComponent returns an unconfigured component (CCA class
+// ClassMGSolver).
+func NewMGComponent() *MGComponent {
+	return &MGComponent{baseAdapter: newBaseAdapter("lisi.solver.mg")}
+}
+
+// SetServices implements cca.Component.
+func (mc *MGComponent) SetServices(svc cca.Services) error {
+	return mc.baseAdapter.setServices(svc, mc)
+}
+
+// Set validates and stores a generic parameter.
+func (mc *MGComponent) Set(key, value string) int {
+	switch key {
+	case "grid_n":
+		if v, err := strconv.Atoi(value); err != nil || v < 3 || v%2 == 0 {
+			return ErrBadArg
+		}
+	case "cycles", "smooth_sweeps":
+		if v, err := strconv.Atoi(value); err != nil || v < 1 {
+			return ErrBadArg
+		}
+	case "gamma":
+		if v, err := strconv.Atoi(value); err != nil || v < 1 || v > 2 {
+			return ErrBadArg
+		}
+	case "tol", "omega", "convection":
+		if _, err := strconv.ParseFloat(value, 64); err != nil {
+			return ErrBadArg
+		}
+	case "galerkin":
+		if _, err := strconv.ParseBool(value); err != nil {
+			return ErrBadArg
+		}
+	default:
+		return ErrUnknownKey
+	}
+	mc.storeParam(key, value)
+	return OK
+}
+
+// SetInt routes through Set so validation is uniform.
+func (mc *MGComponent) SetInt(key string, value int) int {
+	return mc.Set(key, strconv.Itoa(value))
+}
+
+// SetBool routes through Set.
+func (mc *MGComponent) SetBool(key string, value bool) int {
+	return mc.Set(key, strconv.FormatBool(value))
+}
+
+// SetDouble routes through Set.
+func (mc *MGComponent) SetDouble(key string, value float64) int {
+	return mc.Set(key, strconv.FormatFloat(value, 'g', -1, 64))
+}
+
+// GetAll reports the configuration.
+func (mc *MGComponent) GetAll() string {
+	extra := map[string]string{
+		"backend":     "mg (geometric multigrid, coarse solve via LISI)",
+		"matrix_free": "false",
+	}
+	if mc.solver != nil {
+		extra["levels"] = strconv.Itoa(mc.solver.Levels())
+	}
+	return mc.getAll(extra)
+}
+
+// coarseSolve drives the inner SLUComponent through the LISI interface —
+// one solver component recursively using another via the same port
+// contract.
+func (mc *MGComponent) coarseSolve(a *sparse.CSR, b []float64) ([]float64, error) {
+	c := mc.c
+	l, err := pmat.NewLayout(c, evenLocal(c.Rank(), c.Size(), a.Rows))
+	if err != nil {
+		return nil, err
+	}
+	if !mc.coarseUp {
+		s := mc.coarse
+		if code := s.Initialize(c); code != OK {
+			return nil, Check(code)
+		}
+		if code := s.SetStartRow(l.Start); code != OK {
+			return nil, Check(code)
+		}
+		if code := s.SetLocalRows(l.LocalN); code != OK {
+			return nil, Check(code)
+		}
+		if code := s.SetGlobalCols(a.Rows); code != OK {
+			return nil, Check(code)
+		}
+		local := a.SubMatrix(l.Start, l.Start+l.LocalN)
+		if code := s.SetupMatrix(local.Vals, local.RowPtr, local.ColInd, CSR, len(local.RowPtr), local.NNZ()); code != OK {
+			return nil, Check(code)
+		}
+		mc.coarseUp = true
+	}
+	if code := mc.coarse.SetupRHS(b[l.Start:l.Start+l.LocalN], l.LocalN, 1); code != OK {
+		return nil, Check(code)
+	}
+	x := make([]float64, l.LocalN)
+	status := make([]float64, StatusLen)
+	if code := mc.coarse.Solve(x, status, l.LocalN, StatusLen); code != OK {
+		return nil, Check(code)
+	}
+	return pmat.AllGather(l, x), nil
+}
+
+// evenLocal mirrors pmat.EvenLayout's split without a collective.
+func evenLocal(rank, size, n int) int {
+	local := n / size
+	if rank < n%size {
+		local++
+	}
+	return local
+}
+
+// Solve implements the LISI solve on the multigrid backend.
+func (mc *MGComponent) Solve(solution []float64, status []float64, numLocalRow, statusLength int) int {
+	if code := mc.solvePrep(solution, status, numLocalRow); code != OK {
+		return code
+	}
+	if mc.mf != nil {
+		return ErrUnsupported // geometric MG needs the assembled model operator
+	}
+	gridN, ok := mc.params["grid_n"]
+	if !ok {
+		return ErrBadState
+	}
+	n, _ := strconv.Atoi(gridN)
+	if n*n != mc.globalCols {
+		return ErrBadArg
+	}
+	l, err := mc.buildLayout()
+	if err != nil {
+		return ErrBadArg
+	}
+
+	if mc.solver == nil || mc.builtVer != mc.matVer {
+		p := mesh.PaperProblem(n)
+		if v, ok := mc.params["convection"]; ok {
+			p.Convection, _ = strconv.ParseFloat(v, 64)
+		}
+		// Geometric MG is only valid for the model operator: verify the
+		// staged matrix actually is the discretized PDE.
+		want, _, err := p.GenerateLocal(l)
+		if err != nil {
+			return ErrBadArg
+		}
+		if !want.AlmostEqual(mc.localA, 1e-9*want.NormInf()) {
+			return ErrUnsupported
+		}
+		opts := mg.Options{Coarse: mc.coarseSolve}
+		if v, ok := mc.params["tol"]; ok {
+			opts.Tol, _ = strconv.ParseFloat(v, 64)
+		}
+		if v, ok := mc.params["omega"]; ok {
+			opts.Omega, _ = strconv.ParseFloat(v, 64)
+		}
+		if v, ok := mc.params["cycles"]; ok {
+			opts.MaxCycles, _ = strconv.Atoi(v)
+		}
+		if v, ok := mc.params["smooth_sweeps"]; ok {
+			opts.Nu1, _ = strconv.Atoi(v)
+			opts.Nu2 = opts.Nu1
+		}
+		if v, ok := mc.params["galerkin"]; ok {
+			opts.Galerkin, _ = strconv.ParseBool(v)
+		}
+		if v, ok := mc.params["gamma"]; ok {
+			opts.Gamma, _ = strconv.Atoi(v)
+		}
+		mc.coarse = NewSLUComponent()
+		mc.coarseUp = false
+		s, err := mg.New(mc.c, p, opts)
+		if err != nil {
+			return ErrBadArg
+		}
+		mc.solver = s
+		mc.builtVer = mc.matVer
+		mc.factorizations++
+	}
+
+	totalCycles := 0
+	lastNorm := 0.0
+	for r := 0; r < mc.nRhs; r++ {
+		b := mc.rhs[r*numLocalRow : (r+1)*numLocalRow]
+		x := solution[r*numLocalRow : (r+1)*numLocalRow]
+		for i := range x {
+			x[i] = 0
+		}
+		if err := mc.solver.Solve(b, x); err != nil {
+			writeStatus(status, statusLength, mc.solver.Cycles(), mc.solver.ResidualNorm(), false, mc.factorizations)
+			return ErrSolveFailed
+		}
+		totalCycles += mc.solver.Cycles()
+		lastNorm = mc.solver.ResidualNorm()
+	}
+	writeStatus(status, statusLength, totalCycles, lastNorm, true, mc.factorizations)
+	return OK
+}
+
+func init() {
+	cca.RegisterClass(ClassMGSolver, func() cca.Component { return NewMGComponent() })
+}

@@ -1,0 +1,93 @@
+package ksp
+
+import (
+	"math"
+
+	"repro/internal/sparse"
+)
+
+// solveBiCGStab is the stabilized bi-conjugate gradient method of van der
+// Vorst with right-side application of the preconditioner inside the
+// update directions (the PETSc bcgs formulation). Convergence is tested
+// on the true residual norm.
+func (k *KSP) solveBiCGStab(b, x []float64) error {
+	n := len(x)
+	r := make([]float64, n)
+	rhat := make([]float64, n)
+	p := make([]float64, n)
+	v := make([]float64, n)
+	s := make([]float64, n)
+	t := make([]float64, n)
+	phat := make([]float64, n)
+	shat := make([]float64, n)
+
+	k.a.Apply(r, x)
+	for i := range r {
+		r[i] = b[i] - r[i]
+	}
+	copy(rhat, r)
+	rnorm0 := k.norm2(r)
+	if k.testConvergence(0, rnorm0, rnorm0) {
+		return nil
+	}
+
+	rho, alpha, omega := 1.0, 1.0, 1.0
+	for it := 1; ; it++ {
+		rhoNew := k.dot(rhat, r)
+		if rhoNew == 0 {
+			k.reason = DivergedBreakdown
+			k.its = it
+			return nil
+		}
+		if it == 1 {
+			copy(p, r)
+		} else {
+			beta := (rhoNew / rho) * (alpha / omega)
+			for i := range p {
+				p[i] = r[i] + beta*(p[i]-omega*v[i])
+			}
+		}
+		rho = rhoNew
+		k.pc.Apply(phat, p)
+		k.a.Apply(v, phat)
+		rv := k.dot(rhat, v)
+		if rv == 0 {
+			k.reason = DivergedBreakdown
+			k.its = it
+			return nil
+		}
+		alpha = rho / rv
+		for i := range s {
+			s[i] = r[i] - alpha*v[i]
+		}
+		if snorm := k.norm2(s); snorm <= k.atol || snorm <= k.rtol*rnorm0 {
+			// Early half-step convergence.
+			sparse.Axpy(alpha, phat, x)
+			k.testConvergence(it, snorm, rnorm0)
+			return nil
+		}
+		k.pc.Apply(shat, s)
+		k.a.Apply(t, shat)
+		tt := k.dot(t, t)
+		if tt == 0 {
+			k.reason = DivergedBreakdown
+			k.its = it
+			return nil
+		}
+		omega = k.dot(t, s) / tt
+		if math.Abs(omega) < 1e-300 {
+			k.reason = DivergedBreakdown
+			k.its = it
+			return nil
+		}
+		for i := range x {
+			x[i] += alpha*phat[i] + omega*shat[i]
+		}
+		for i := range r {
+			r[i] = s[i] - omega*t[i]
+		}
+		if k.testConvergence(it, k.norm2(r), rnorm0) {
+			return nil
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package ksp
+
+import "repro/internal/sparse"
+
+// solveCG is preconditioned conjugate gradients (for SPD operators with an
+// SPD preconditioner). Convergence is tested on the true residual norm.
+func (k *KSP) solveCG(b, x []float64) error {
+	n := len(x)
+	r := make([]float64, n)
+	z := make([]float64, n)
+	p := make([]float64, n)
+	q := make([]float64, n)
+
+	// r = b − A·x
+	k.a.Apply(r, x)
+	for i := range r {
+		r[i] = b[i] - r[i]
+	}
+	rnorm0 := k.norm2(r)
+	if k.testConvergence(0, rnorm0, rnorm0) {
+		return nil
+	}
+	k.pc.Apply(z, r)
+	copy(p, z)
+	rz := k.dot(r, z)
+
+	for it := 1; ; it++ {
+		k.a.Apply(q, p)
+		pq := k.dot(p, q)
+		if pq <= 0 {
+			// Operator or preconditioner is not positive definite for
+			// this Krylov space.
+			k.reason = DivergedIndefinitePC
+			k.its = it
+			return nil
+		}
+		alpha := rz / pq
+		sparse.Axpy(alpha, p, x)
+		sparse.Axpy(-alpha, q, r)
+		if k.testConvergence(it, k.norm2(r), rnorm0) {
+			return nil
+		}
+		k.pc.Apply(z, r)
+		rzNew := k.dot(r, z)
+		beta := rzNew / rz
+		rz = rzNew
+		for i := range p {
+			p[i] = z[i] + beta*p[i]
+		}
+	}
+}
+
+// solveRichardson is damped preconditioned Richardson iteration:
+// x ← x + s·M⁻¹(b − A·x).
+func (k *KSP) solveRichardson(b, x []float64) error {
+	n := len(x)
+	r := make([]float64, n)
+	z := make([]float64, n)
+	k.a.Apply(r, x)
+	for i := range r {
+		r[i] = b[i] - r[i]
+	}
+	rnorm0 := k.norm2(r)
+	if k.testConvergence(0, rnorm0, rnorm0) {
+		return nil
+	}
+	for it := 1; ; it++ {
+		k.pc.Apply(z, r)
+		sparse.Axpy(k.damping, z, x)
+		k.a.Apply(r, x)
+		for i := range r {
+			r[i] = b[i] - r[i]
+		}
+		if k.testConvergence(it, k.norm2(r), rnorm0) {
+			return nil
+		}
+	}
+}

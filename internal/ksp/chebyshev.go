@@ -1,0 +1,95 @@
+package ksp
+
+import (
+	"math"
+
+	"repro/internal/sparse"
+)
+
+// solveChebyshev is the Chebyshev semi-iteration on the preconditioned
+// operator M⁻¹A, using eigenvalue bounds [emin, emax]. When the bounds
+// were not set, emax is estimated by a short power iteration and
+// emin = emax/30, PETSc's default heuristic. Chebyshev needs no inner
+// products besides the convergence test, which is why multigrid
+// smoothing and communication-avoiding settings favor it.
+func (k *KSP) solveChebyshev(b, x []float64) error {
+	n := len(x)
+	r := make([]float64, n)
+	z := make([]float64, n)
+	p := make([]float64, n)
+	q := make([]float64, n)
+
+	emin, emax := k.chebEmin, k.chebEmax
+	if emax <= 0 {
+		var err error
+		emax, err = k.estimateMaxEig()
+		if err != nil {
+			return err
+		}
+		emax *= 1.1
+		emin = emax / 30
+	}
+	theta := (emax + emin) / 2
+	delta := (emax - emin) / 2
+
+	k.a.Apply(r, x)
+	for i := range r {
+		r[i] = b[i] - r[i]
+	}
+	rnorm0 := k.norm2(r)
+	if k.testConvergence(0, rnorm0, rnorm0) {
+		return nil
+	}
+
+	var alpha, beta float64
+	for it := 1; ; it++ {
+		k.pc.Apply(z, r)
+		switch it {
+		case 1:
+			alpha = 1 / theta
+			copy(p, z)
+		default:
+			if it == 2 {
+				beta = 0.5 * (delta * alpha) * (delta * alpha)
+			} else {
+				beta = (delta * alpha / 2) * (delta * alpha / 2)
+			}
+			alpha = 1 / (theta - beta/alpha)
+			for i := range p {
+				p[i] = z[i] + beta*p[i]
+			}
+		}
+		sparse.Axpy(alpha, p, x)
+		k.a.Apply(q, p)
+		sparse.Axpy(-alpha, q, r)
+		if k.testConvergence(it, k.norm2(r), rnorm0) {
+			return nil
+		}
+	}
+}
+
+// estimateMaxEig runs a few power iterations on M⁻¹A.
+func (k *KSP) estimateMaxEig() (float64, error) {
+	n := k.a.Layout().LocalN
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = 1
+	}
+	t := make([]float64, n)
+	w := make([]float64, n)
+	lmax := 1.0
+	for it := 0; it < 12; it++ {
+		k.a.Apply(t, v)
+		k.pc.Apply(w, t)
+		nrm := k.norm2(w)
+		if nrm == 0 || math.IsNaN(nrm) {
+			break
+		}
+		lmax = nrm
+		inv := 1 / nrm
+		for i := range v {
+			v[i] = w[i] * inv
+		}
+	}
+	return lmax, nil
+}

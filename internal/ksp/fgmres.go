@@ -1,0 +1,101 @@
+package ksp
+
+import (
+	"math"
+
+	"repro/internal/sparse"
+)
+
+// solveFGMRES is flexible GMRES(m): right-preconditioned with the
+// preconditioned directions stored, so the preconditioner may change
+// between iterations (e.g. an inner iterative solve). Convergence is
+// tested on the true residual norm, which right preconditioning makes
+// directly available.
+func (k *KSP) solveFGMRES(b, x []float64) error {
+	n := len(x)
+	m := k.restart
+
+	v := make([][]float64, m+1)
+	z := make([][]float64, m) // preconditioned directions (flexible part)
+	for i := range v {
+		v[i] = make([]float64, n)
+	}
+	for i := range z {
+		z[i] = make([]float64, n)
+	}
+	h := make([][]float64, m+1)
+	for i := range h {
+		h[i] = make([]float64, m)
+	}
+	g := make([]float64, m+1)
+	cs := make([]float64, m)
+	sn := make([]float64, m)
+	w := make([]float64, n)
+
+	rnorm0 := -1.0
+	it := 0
+	for {
+		// r = b − A·x (true residual; no preconditioner on this side).
+		k.a.Apply(w, x)
+		for i := range w {
+			w[i] = b[i] - w[i]
+		}
+		beta := k.norm2(w)
+		if rnorm0 < 0 {
+			rnorm0 = beta
+			if k.testConvergence(0, beta, rnorm0) {
+				return nil
+			}
+		} else if k.testConvergence(it, beta, rnorm0) {
+			return nil
+		}
+		if beta == 0 {
+			k.reason = ConvergedATol
+			return nil
+		}
+		inv := 1 / beta
+		for i := range w {
+			v[0][i] = w[i] * inv
+		}
+		for i := range g {
+			g[i] = 0
+		}
+		g[0] = beta
+
+		var j int
+		for j = 0; j < m; j++ {
+			it++
+			// z_j = M⁻¹ v_j ; w = A z_j
+			k.pc.Apply(z[j], v[j])
+			k.a.Apply(w, z[j])
+			for i := 0; i <= j; i++ {
+				h[i][j] = k.dot(w, v[i])
+				sparse.Axpy(-h[i][j], v[i], w)
+			}
+			h[j+1][j] = k.norm2(w)
+			if h[j+1][j] > 1e-300 {
+				inv := 1 / h[j+1][j]
+				for i := range w {
+					v[j+1][i] = w[i] * inv
+				}
+			}
+			for i := 0; i < j; i++ {
+				hij := h[i][j]
+				h[i][j] = cs[i]*hij + sn[i]*h[i+1][j]
+				h[i+1][j] = -sn[i]*hij + cs[i]*h[i+1][j]
+			}
+			cs[j], sn[j] = givens(h[j][j], h[j+1][j])
+			h[j][j] = cs[j]*h[j][j] + sn[j]*h[j+1][j]
+			h[j+1][j] = 0
+			g[j+1] = -sn[j] * g[j]
+			g[j] = cs[j] * g[j]
+
+			if rnorm := math.Abs(g[j+1]); k.testConvergence(it, rnorm, rnorm0) {
+				k.updateSolution(x, z, h, g, j+1)
+				return nil
+			}
+		}
+		// x += Z_m · y, then restart from the true residual.
+		k.updateSolution(x, z, h, g, j)
+	}
+}

@@ -1,0 +1,142 @@
+package ksp
+
+import (
+	"math"
+
+	"repro/internal/sparse"
+)
+
+// solveGMRES is restarted, left-preconditioned GMRES(m) with modified
+// Gram–Schmidt orthogonalization and Givens-rotation least squares.
+// Convergence is tested on the preconditioned residual norm, as in
+// PETSc's default GMRES convergence test.
+func (k *KSP) solveGMRES(b, x []float64) error {
+	n := len(x)
+	m := k.restart
+
+	// Krylov basis (m+1 vectors) and Hessenberg in packed columns.
+	v := make([][]float64, m+1)
+	for i := range v {
+		v[i] = make([]float64, n)
+	}
+	h := make([][]float64, m+1) // h[i][j], i row, j column
+	for i := range h {
+		h[i] = make([]float64, m)
+	}
+	g := make([]float64, m+1) // rhs of the least-squares problem
+	cs := make([]float64, m)  // Givens cosines
+	sn := make([]float64, m)  // Givens sines
+	w := make([]float64, n)
+	t := make([]float64, n)
+
+	rnorm0 := -1.0
+	it := 0
+	for { // outer restart loop
+		// r = M⁻¹ (b − A x)
+		k.a.Apply(t, x)
+		for i := range t {
+			t[i] = b[i] - t[i]
+		}
+		k.pc.Apply(w, t)
+		beta := k.norm2(w)
+		if rnorm0 < 0 {
+			rnorm0 = beta
+			if k.testConvergence(0, beta, rnorm0) {
+				return nil
+			}
+		} else if k.testConvergence(it, beta, rnorm0) {
+			return nil
+		}
+		if beta == 0 {
+			k.reason = ConvergedATol
+			return nil
+		}
+		inv := 1 / beta
+		for i := range w {
+			v[0][i] = w[i] * inv
+		}
+		for i := range g {
+			g[i] = 0
+		}
+		g[0] = beta
+
+		var j int
+		for j = 0; j < m; j++ {
+			it++
+			// w = M⁻¹ A v_j
+			k.a.Apply(t, v[j])
+			k.pc.Apply(w, t)
+			// Modified Gram–Schmidt.
+			for i := 0; i <= j; i++ {
+				h[i][j] = k.dot(w, v[i])
+				sparse.Axpy(-h[i][j], v[i], w)
+			}
+			h[j+1][j] = k.norm2(w)
+			if h[j+1][j] > 1e-300 {
+				inv := 1 / h[j+1][j]
+				for i := range w {
+					v[j+1][i] = w[i] * inv
+				}
+			}
+			// Apply existing Givens rotations to the new column.
+			for i := 0; i < j; i++ {
+				hij := h[i][j]
+				h[i][j] = cs[i]*hij + sn[i]*h[i+1][j]
+				h[i+1][j] = -sn[i]*hij + cs[i]*h[i+1][j]
+			}
+			// New rotation to annihilate h[j+1][j].
+			cs[j], sn[j] = givens(h[j][j], h[j+1][j])
+			h[j][j] = cs[j]*h[j][j] + sn[j]*h[j+1][j]
+			h[j+1][j] = 0
+			g[j+1] = -sn[j] * g[j]
+			g[j] = cs[j] * g[j]
+
+			rnorm := math.Abs(g[j+1])
+			if k.testConvergence(it, rnorm, rnorm0) {
+				k.updateSolution(x, v, h, g, j+1)
+				return nil
+			}
+		}
+		k.updateSolution(x, v, h, g, j)
+	}
+}
+
+// updateSolution computes x += V_k · y where H(1:k,1:k) y = g(1:k).
+func (k *KSP) updateSolution(x []float64, v [][]float64, h [][]float64, g []float64, kk int) {
+	if kk == 0 {
+		return
+	}
+	y := make([]float64, kk)
+	for i := kk - 1; i >= 0; i-- {
+		s := g[i]
+		for j := i + 1; j < kk; j++ {
+			s -= h[i][j] * y[j]
+		}
+		if h[i][i] == 0 {
+			// Singular least-squares block: skip this direction.
+			y[i] = 0
+			continue
+		}
+		y[i] = s / h[i][i]
+	}
+	for j := 0; j < kk; j++ {
+		sparse.Axpy(y[j], v[j], x)
+	}
+}
+
+// givens returns the rotation (c, s) with c·a + s·b = r, −s·a + c·b = 0.
+func givens(a, b float64) (c, s float64) {
+	if b == 0 {
+		return 1, 0
+	}
+	if math.Abs(b) > math.Abs(a) {
+		tau := a / b
+		s = 1 / math.Sqrt(1+tau*tau)
+		c = s * tau
+		return c, s
+	}
+	tau := b / a
+	c = 1 / math.Sqrt(1+tau*tau)
+	s = c * tau
+	return c, s
+}

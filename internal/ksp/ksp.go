@@ -1,0 +1,278 @@
+package ksp
+
+import (
+	"fmt"
+
+	"repro/internal/comm"
+	"repro/internal/pmat"
+)
+
+// ConvergedReason explains why a solve stopped, following PETSc's
+// KSPConvergedReason vocabulary (positive = converged, negative =
+// diverged).
+type ConvergedReason int
+
+// Convergence / divergence reasons.
+const (
+	ConvergedRTol        ConvergedReason = 2
+	ConvergedATol        ConvergedReason = 3
+	ConvergedIts         ConvergedReason = 4 // richardson ran its fixed iterations
+	DivergedNull         ConvergedReason = 0
+	DivergedMaxIts       ConvergedReason = -3
+	DivergedDTol         ConvergedReason = -4
+	DivergedBreakdown    ConvergedReason = -5
+	DivergedIndefinitePC ConvergedReason = -8
+)
+
+// Converged reports whether the reason indicates success.
+func (r ConvergedReason) Converged() bool { return r > 0 }
+
+// String describes the termination reason.
+func (r ConvergedReason) String() string {
+	switch r {
+	case ConvergedRTol:
+		return "converged: relative tolerance"
+	case ConvergedATol:
+		return "converged: absolute tolerance"
+	case ConvergedIts:
+		return "converged: iteration count reached"
+	case DivergedNull:
+		return "not yet solved"
+	case DivergedMaxIts:
+		return "diverged: maximum iterations"
+	case DivergedDTol:
+		return "diverged: divergence tolerance"
+	case DivergedBreakdown:
+		return "diverged: Krylov breakdown"
+	case DivergedIndefinitePC:
+		return "diverged: indefinite preconditioner"
+	}
+	return fmt.Sprintf("ConvergedReason(%d)", int(r))
+}
+
+// KSP method names (PETSc -ksp_type vocabulary).
+const (
+	TypeCG         = "cg"
+	TypeBiCGStab   = "bcgs"
+	TypeGMRES      = "gmres"
+	TypeFGMRES     = "fgmres"
+	TypeTFQMR      = "tfqmr"
+	TypeRichardson = "richardson"
+	TypeChebyshev  = "chebyshev"
+)
+
+// Monitor is called once per iteration with the iteration number and the
+// current (preconditioned, method-dependent) residual norm.
+type Monitor func(it int, rnorm float64)
+
+// KSP is a Krylov solver context. Create with New, configure with the
+// Set* methods, then call Solve; results are queried with Iterations,
+// ResidualNorm and Reason. A KSP may be reused for repeated solves with
+// the same or updated operators, matching the reuse scenarios in §5.2 of
+// the paper.
+type KSP struct {
+	c  *comm.Comm
+	a  *Mat
+	pc PC
+
+	typ          string
+	rtol         float64
+	atol         float64
+	dtol         float64
+	maxIts       int
+	restart      int
+	damping      float64 // richardson
+	chebEmin     float64 // chebyshev eigenvalue bounds (0 = estimate)
+	chebEmax     float64
+	guessNonzero bool
+	monitor      Monitor
+
+	its    int
+	rnorm  float64
+	reason ConvergedReason
+}
+
+// New creates a KSP with PETSc-like defaults: GMRES(30) with block-ILU
+// preconditioning, rtol 1e-5, atol 1e-50, dtol 1e5, maxits 10000.
+func New(c *comm.Comm) *KSP {
+	return &KSP{
+		c:       c,
+		typ:     TypeGMRES,
+		rtol:    1e-5,
+		atol:    1e-50,
+		dtol:    1e5,
+		maxIts:  10000,
+		restart: 30,
+		damping: 1.0,
+	}
+}
+
+// SetOperators sets the system operator (and uses it to build the
+// preconditioner at the next Solve).
+func (k *KSP) SetOperators(a *Mat) { k.a = a }
+
+// SetType selects the Krylov method.
+func (k *KSP) SetType(t string) error {
+	switch t {
+	case TypeCG, TypeBiCGStab, TypeGMRES, TypeFGMRES, TypeTFQMR, TypeRichardson, TypeChebyshev:
+		k.typ = t
+		return nil
+	}
+	return fmt.Errorf("ksp: unknown KSP type %q", t)
+}
+
+// Type returns the selected Krylov method.
+func (k *KSP) Type() string { return k.typ }
+
+// SetTolerances sets the convergence controls; non-positive arguments
+// keep the current value (as PETSC_DEFAULT does).
+func (k *KSP) SetTolerances(rtol, atol, dtol float64, maxIts int) {
+	if rtol > 0 {
+		k.rtol = rtol
+	}
+	if atol > 0 {
+		k.atol = atol
+	}
+	if dtol > 0 {
+		k.dtol = dtol
+	}
+	if maxIts > 0 {
+		k.maxIts = maxIts
+	}
+}
+
+// SetRestart sets the GMRES restart length.
+func (k *KSP) SetRestart(m int) error {
+	if m < 1 {
+		return fmt.Errorf("ksp: restart must be positive, got %d", m)
+	}
+	k.restart = m
+	return nil
+}
+
+// SetChebyshevBounds sets the eigenvalue interval for Chebyshev
+// iteration; pass (0,0) to restore automatic estimation.
+func (k *KSP) SetChebyshevBounds(emin, emax float64) error {
+	if emax < 0 || emin < 0 || (emax > 0 && emin >= emax) {
+		return fmt.Errorf("ksp: invalid Chebyshev bounds [%g,%g]", emin, emax)
+	}
+	k.chebEmin, k.chebEmax = emin, emax
+	return nil
+}
+
+// SetDamping sets the Richardson damping factor.
+func (k *KSP) SetDamping(s float64) error {
+	if s <= 0 {
+		return fmt.Errorf("ksp: damping must be positive, got %g", s)
+	}
+	k.damping = s
+	return nil
+}
+
+// SetPC replaces the preconditioner object.
+func (k *KSP) SetPC(pc PC) { k.pc = pc }
+
+// SetPCType selects a preconditioner by name.
+func (k *KSP) SetPCType(t string) error {
+	pc, err := NewPC(t)
+	if err != nil {
+		return err
+	}
+	k.pc = pc
+	return nil
+}
+
+// SetInitialGuessNonzero controls whether Solve starts from the incoming
+// x (true) or from zero (false, the default).
+func (k *KSP) SetInitialGuessNonzero(nz bool) { k.guessNonzero = nz }
+
+// SetMonitor installs a per-iteration callback (nil to remove).
+func (k *KSP) SetMonitor(m Monitor) { k.monitor = m }
+
+// Iterations returns the iteration count of the last solve.
+func (k *KSP) Iterations() int { return k.its }
+
+// ResidualNorm returns the final residual norm of the last solve.
+func (k *KSP) ResidualNorm() float64 { return k.rnorm }
+
+// Reason returns the termination reason of the last solve.
+func (k *KSP) Reason() ConvergedReason { return k.reason }
+
+// Solve solves A·x = b. b and x are this rank's conformal blocks; x is
+// overwritten with the solution (collective). A non-nil error is returned
+// for setup failures and for divergence.
+func (k *KSP) Solve(b, x []float64) error {
+	if k.a == nil {
+		return fmt.Errorf("ksp: Solve called before SetOperators")
+	}
+	n := k.a.Layout().LocalN
+	if len(b) != n || len(x) != n {
+		return fmt.Errorf("ksp: Solve: local vectors have lengths %d/%d, want %d", len(b), len(x), n)
+	}
+	if k.pc == nil {
+		k.pc = &pcBlockILU{name: PCBJacobi}
+	}
+	if err := k.pc.SetUp(k.a); err != nil {
+		return err
+	}
+	if !k.guessNonzero {
+		for i := range x {
+			x[i] = 0
+		}
+	}
+	k.its = 0
+	k.reason = DivergedNull
+
+	var err error
+	switch k.typ {
+	case TypeCG:
+		err = k.solveCG(b, x)
+	case TypeBiCGStab:
+		err = k.solveBiCGStab(b, x)
+	case TypeGMRES:
+		err = k.solveGMRES(b, x)
+	case TypeFGMRES:
+		err = k.solveFGMRES(b, x)
+	case TypeChebyshev:
+		err = k.solveChebyshev(b, x)
+	case TypeTFQMR:
+		err = k.solveTFQMR(b, x)
+	case TypeRichardson:
+		err = k.solveRichardson(b, x)
+	default:
+		return fmt.Errorf("ksp: unknown KSP type %q", k.typ)
+	}
+	if err != nil {
+		return err
+	}
+	if !k.reason.Converged() {
+		return fmt.Errorf("ksp: solve diverged: %v (it %d, rnorm %.3e)", k.reason, k.its, k.rnorm)
+	}
+	return nil
+}
+
+// testConvergence updates state and returns true when iteration should
+// stop. rnorm0 is the initial residual norm.
+func (k *KSP) testConvergence(it int, rnorm, rnorm0 float64) bool {
+	k.its = it
+	k.rnorm = rnorm
+	if k.monitor != nil {
+		k.monitor(it, rnorm)
+	}
+	switch {
+	case rnorm <= k.atol:
+		k.reason = ConvergedATol
+	case rnorm <= k.rtol*rnorm0:
+		k.reason = ConvergedRTol
+	case rnorm >= k.dtol*rnorm0 && it > 0:
+		k.reason = DivergedDTol
+	case it >= k.maxIts:
+		k.reason = DivergedMaxIts
+	default:
+		return false
+	}
+	return true
+}
+
+func (k *KSP) dot(x, y []float64) float64 { return pmat.Dot(k.c, x, y) }
+func (k *KSP) norm2(x []float64) float64  { return pmat.Norm2(k.c, x) }

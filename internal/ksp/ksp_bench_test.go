@@ -1,0 +1,78 @@
+package ksp
+
+import (
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/sparse"
+)
+
+// BenchmarkILU0 measures the block preconditioner setup cost (the
+// dominant setup inside the PETSc-role component).
+func BenchmarkILU0(b *testing.B) {
+	a := sparse.Laplace2D(70, 70) // n = 4,900
+	b.Run("factor", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := NewILU0(a); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	f, err := NewILU0(a)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := sparse.RandomVector(a.Rows, 1)
+	z := make([]float64, a.Rows)
+	b.Run("solve", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			f.Solve(z, r)
+		}
+	})
+}
+
+// BenchmarkKrylovMethods measures one full solve per method on the model
+// operator at fixed tolerance — the per-method cost behind Figure 5's
+// iterative panels.
+func BenchmarkKrylovMethods(b *testing.B) {
+	global := sparse.Laplace2D(40, 40)
+	w, err := comm.NewWorld(2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, method := range []string{TypeCG, TypeGMRES, TypeFGMRES, TypeBiCGStab, TypeTFQMR, TypeChebyshev} {
+		b.Run(method, func(b *testing.B) {
+			var its int
+			if err := w.Run(func(c *comm.Comm) {
+				a := distMat(c, global)
+				l := a.Layout()
+				rhs := make([]float64, l.LocalN)
+				for i := range rhs {
+					rhs[i] = 1
+				}
+				x := make([]float64, l.LocalN)
+				for i := 0; i < b.N; i++ {
+					k := New(c)
+					k.SetOperators(a)
+					if err := k.SetType(method); err != nil {
+						b.Fatal(err)
+					}
+					if err := k.SetPCType(PCJacobi); err != nil {
+						b.Fatal(err)
+					}
+					k.SetTolerances(1e-8, 0, 0, 50000)
+					for j := range x {
+						x[j] = 0
+					}
+					if err := k.Solve(rhs, x); err != nil {
+						b.Fatal(err)
+					}
+					its = k.Iterations()
+				}
+			}); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(its), "iters")
+		})
+	}
+}

@@ -1,0 +1,602 @@
+package ksp
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/pmat"
+	"repro/internal/sparse"
+)
+
+func run(t *testing.T, p int, fn func(c *comm.Comm)) {
+	t.Helper()
+	w, err := comm.NewWorld(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Run(fn); err != nil {
+		t.Fatalf("Run on %d ranks: %v", p, err)
+	}
+}
+
+// distMat distributes a globally known CSR across the ranks.
+func distMat(c *comm.Comm, global *sparse.CSR) *Mat {
+	l, err := pmat.EvenLayout(c, global.Rows)
+	if err != nil {
+		panic(err)
+	}
+	local := global.SubMatrix(l.Start, l.Start+l.LocalN)
+	m, err := pmat.NewMat(l, local)
+	if err != nil {
+		panic(err)
+	}
+	return NewMat(m)
+}
+
+// solveAndCheck runs a configured KSP on A·x = b with known solution and
+// verifies the relative residual.
+func solveAndCheck(t *testing.T, c *comm.Comm, global *sparse.CSR, k *KSP, a *Mat, tol float64) {
+	t.Helper()
+	n := global.Rows
+	xstar := sparse.RandomVector(n, 99)
+	bGlobal := make([]float64, n)
+	global.MulVec(bGlobal, xstar)
+	l := a.Layout()
+	b := make([]float64, l.LocalN)
+	copy(b, bGlobal[l.Start:l.Start+l.LocalN])
+	x := make([]float64, l.LocalN)
+	if err := k.Solve(b, x); err != nil {
+		t.Fatalf("%s/%s on %d ranks: %v", k.Type(), k.pc.Type(), c.Size(), err)
+	}
+	if !k.Reason().Converged() {
+		t.Fatalf("%s: reason %v", k.Type(), k.Reason())
+	}
+	res := a.Assembled().Residual(b, x)
+	bnorm := pmat.Norm2(c, b)
+	if res > tol*bnorm {
+		t.Errorf("%s/%s on %d ranks: relative residual %.3e > %.1e", k.Type(), k.pc.Type(), c.Size(), res/bnorm, tol)
+	}
+}
+
+func TestAllMethodsSPD(t *testing.T) {
+	global := sparse.Laplace2D(8, 8) // n=64, SPD
+	for _, p := range []int{1, 2, 4} {
+		for _, method := range []string{TypeCG, TypeBiCGStab, TypeGMRES, TypeTFQMR} {
+			run(t, p, func(c *comm.Comm) {
+				a := distMat(c, global)
+				k := New(c)
+				k.SetOperators(a)
+				if err := k.SetType(method); err != nil {
+					t.Fatal(err)
+				}
+				k.SetTolerances(1e-10, 0, 0, 2000)
+				if err := k.SetPCType(PCBJacobi); err != nil {
+					t.Fatal(err)
+				}
+				solveAndCheck(t, c, global, k, a, 1e-7)
+			})
+		}
+	}
+}
+
+func TestRichardsonWithSSOR(t *testing.T) {
+	global := sparse.Laplace2D(5, 5)
+	run(t, 2, func(c *comm.Comm) {
+		a := distMat(c, global)
+		k := New(c)
+		k.SetOperators(a)
+		if err := k.SetType(TypeRichardson); err != nil {
+			t.Fatal(err)
+		}
+		if err := k.SetPCType(PCSSOR); err != nil {
+			t.Fatal(err)
+		}
+		k.SetTolerances(1e-8, 0, 0, 5000)
+		solveAndCheck(t, c, global, k, a, 1e-6)
+	})
+}
+
+func TestAllPreconditioners(t *testing.T) {
+	global := sparse.Laplace2D(6, 6)
+	for _, pc := range []string{PCNone, PCJacobi, PCBJacobi, PCSOR, PCSSOR, PCILU} {
+		run(t, 2, func(c *comm.Comm) {
+			a := distMat(c, global)
+			k := New(c)
+			k.SetOperators(a)
+			if err := k.SetType(TypeGMRES); err != nil {
+				t.Fatal(err)
+			}
+			if err := k.SetPCType(pc); err != nil {
+				t.Fatal(err)
+			}
+			k.SetTolerances(1e-10, 0, 0, 3000)
+			solveAndCheck(t, c, global, k, a, 1e-6)
+		})
+	}
+}
+
+func TestNonsymmetricSystem(t *testing.T) {
+	global := sparse.RandomDiagDominant(60, 5, 4) // unsymmetric, dominant
+	for _, method := range []string{TypeBiCGStab, TypeGMRES, TypeTFQMR} {
+		run(t, 3, func(c *comm.Comm) {
+			a := distMat(c, global)
+			k := New(c)
+			k.SetOperators(a)
+			if err := k.SetType(method); err != nil {
+				t.Fatal(err)
+			}
+			if err := k.SetPCType(PCJacobi); err != nil {
+				t.Fatal(err)
+			}
+			k.SetTolerances(1e-11, 0, 0, 2000)
+			solveAndCheck(t, c, global, k, a, 1e-8)
+		})
+	}
+}
+
+func TestPreconditioningReducesIterations(t *testing.T) {
+	global := sparse.Laplace2D(10, 10)
+	run(t, 1, func(c *comm.Comm) {
+		iters := make(map[string]int)
+		for _, pc := range []string{PCNone, PCILU} {
+			a := distMat(c, global)
+			k := New(c)
+			k.SetOperators(a)
+			k.SetType(TypeCG)
+			k.SetPCType(pc)
+			k.SetTolerances(1e-10, 0, 0, 5000)
+			solveAndCheck(t, c, global, k, a, 1e-6)
+			iters[pc] = k.Iterations()
+		}
+		if iters[PCILU] >= iters[PCNone] {
+			t.Errorf("ILU(0) (%d its) did not beat unpreconditioned CG (%d its)", iters[PCILU], iters[PCNone])
+		}
+	})
+}
+
+func TestShellMatrixMatchesAssembled(t *testing.T) {
+	global := sparse.Laplace2D(6, 6)
+	run(t, 2, func(c *comm.Comm) {
+		assembled := distMat(c, global)
+		// Matrix-free operator backed by the same distributed matrix, the
+		// shape of the paper's MatrixFree port.
+		shell := NewShellMat(assembled.Layout(), func(y, x []float64) {
+			assembled.Assembled().Apply(y, x)
+		})
+		if shell.Type() != "shell" || assembled.Type() != "aij" {
+			t.Errorf("Type() mismatch")
+		}
+
+		solve := func(a *Mat) []float64 {
+			k := New(c)
+			k.SetOperators(a)
+			k.SetType(TypeGMRES)
+			k.SetPCType(PCNone) // shell has no diagonal access
+			k.SetTolerances(1e-12, 0, 0, 2000)
+			l := a.Layout()
+			b := make([]float64, l.LocalN)
+			for i := range b {
+				b[i] = 1
+			}
+			x := make([]float64, l.LocalN)
+			if err := k.Solve(b, x); err != nil {
+				t.Fatal(err)
+			}
+			return x
+		}
+		xa := solve(assembled)
+		xs := solve(shell)
+		for i := range xa {
+			if math.Abs(xa[i]-xs[i]) > 1e-8 {
+				t.Fatalf("shell and assembled solutions differ at %d: %g vs %g", i, xa[i], xs[i])
+			}
+		}
+	})
+}
+
+func TestShellRejectsDiagonalPCs(t *testing.T) {
+	run(t, 1, func(c *comm.Comm) {
+		l, _ := pmat.EvenLayout(c, 4)
+		shell := NewShellMat(l, func(y, x []float64) { copy(y, x) })
+		k := New(c)
+		k.SetOperators(shell)
+		k.SetType(TypeGMRES)
+		k.SetPCType(PCJacobi)
+		b := []float64{1, 1, 1, 1}
+		x := make([]float64, 4)
+		if err := k.Solve(b, x); err == nil {
+			t.Error("jacobi on a shell matrix did not error")
+		}
+	})
+}
+
+func TestSolveErrors(t *testing.T) {
+	run(t, 1, func(c *comm.Comm) {
+		k := New(c)
+		if err := k.Solve([]float64{1}, []float64{0}); err == nil {
+			t.Error("Solve before SetOperators did not error")
+		}
+		a := distMat(c, sparse.Identity(4))
+		k.SetOperators(a)
+		if err := k.Solve([]float64{1}, []float64{0}); err == nil {
+			t.Error("mismatched vector lengths did not error")
+		}
+		if err := k.SetType("nonsense"); err == nil {
+			t.Error("unknown KSP type accepted")
+		}
+		if err := k.SetPCType("nonsense"); err == nil {
+			t.Error("unknown PC type accepted")
+		}
+		if err := k.SetRestart(0); err == nil {
+			t.Error("restart 0 accepted")
+		}
+		if err := k.SetDamping(-1); err == nil {
+			t.Error("negative damping accepted")
+		}
+	})
+}
+
+func TestMaxIterationsDiverges(t *testing.T) {
+	global := sparse.Laplace2D(12, 12)
+	run(t, 1, func(c *comm.Comm) {
+		a := distMat(c, global)
+		k := New(c)
+		k.SetOperators(a)
+		k.SetType(TypeCG)
+		k.SetPCType(PCNone)
+		k.SetTolerances(1e-14, 1e-300, 0, 3) // hopeless budget
+		l := a.Layout()
+		b := make([]float64, l.LocalN)
+		for i := range b {
+			b[i] = 1
+		}
+		x := make([]float64, l.LocalN)
+		err := k.Solve(b, x)
+		if err == nil {
+			t.Fatal("expected divergence error")
+		}
+		if k.Reason() != DivergedMaxIts {
+			t.Errorf("reason = %v, want DivergedMaxIts", k.Reason())
+		}
+		if !strings.Contains(err.Error(), "diverged") {
+			t.Errorf("error %q does not mention divergence", err)
+		}
+	})
+}
+
+func TestJacobiZeroDiagonalFails(t *testing.T) {
+	// Matrix with a zero diagonal entry.
+	coo := sparse.NewCOO(3, 3)
+	coo.Append(0, 0, 1)
+	coo.Append(1, 2, 1) // row 1 has no diagonal
+	coo.Append(1, 1, 0)
+	coo.Append(2, 2, 1)
+	global := coo.ToCSR()
+	run(t, 1, func(c *comm.Comm) {
+		a := distMat(c, global)
+		k := New(c)
+		k.SetOperators(a)
+		k.SetPCType(PCJacobi)
+		b := []float64{1, 1, 1}
+		x := make([]float64, 3)
+		if err := k.Solve(b, x); err == nil {
+			t.Error("zero diagonal accepted by jacobi")
+		}
+	})
+}
+
+func TestILU0ExactOnTridiagonal(t *testing.T) {
+	// Tridiagonal matrices have no fill, so ILU(0) is an exact LU.
+	a := sparse.Tridiag(20, -1, 2.5, -1)
+	f, err := NewILU0(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xstar := sparse.RandomVector(20, 8)
+	b := make([]float64, 20)
+	a.MulVec(b, xstar)
+	z := make([]float64, 20)
+	f.Solve(z, b)
+	for i := range z {
+		if math.Abs(z[i]-xstar[i]) > 1e-12 {
+			t.Fatalf("ILU0 solve not exact at %d: %g vs %g", i, z[i], xstar[i])
+		}
+	}
+}
+
+func TestILU0Errors(t *testing.T) {
+	if _, err := NewILU0(sparse.Tridiag(3, 1, 0, 1)); err == nil {
+		t.Error("zero pivot accepted")
+	}
+	rect := sparse.NewCOO(2, 3)
+	rect.Append(0, 0, 1)
+	if _, err := NewILU0(rect.ToCSR()); err == nil {
+		t.Error("rectangular matrix accepted")
+	}
+	noDiag := sparse.NewCOO(2, 2)
+	noDiag.Append(0, 1, 1)
+	noDiag.Append(1, 0, 1)
+	if _, err := NewILU0(noDiag.ToCSR()); err == nil {
+		t.Error("missing structural diagonal accepted")
+	}
+}
+
+func TestMonitorCalled(t *testing.T) {
+	global := sparse.Laplace2D(4, 4)
+	run(t, 1, func(c *comm.Comm) {
+		a := distMat(c, global)
+		k := New(c)
+		k.SetOperators(a)
+		k.SetType(TypeCG)
+		k.SetPCType(PCNone)
+		var calls int
+		var lastNorm float64 = math.Inf(1)
+		monotone := true
+		k.SetMonitor(func(it int, rnorm float64) {
+			calls++
+			if rnorm > lastNorm*10 {
+				monotone = false
+			}
+			lastNorm = rnorm
+		})
+		l := a.Layout()
+		b := make([]float64, l.LocalN)
+		for i := range b {
+			b[i] = 1
+		}
+		x := make([]float64, l.LocalN)
+		if err := k.Solve(b, x); err != nil {
+			t.Fatal(err)
+		}
+		if calls == 0 {
+			t.Error("monitor never called")
+		}
+		if calls != k.Iterations()+1 {
+			t.Errorf("monitor called %d times for %d iterations", calls, k.Iterations())
+		}
+		if !monotone {
+			t.Error("CG residuals exploded")
+		}
+	})
+}
+
+func TestInitialGuessNonzero(t *testing.T) {
+	global := sparse.Laplace2D(5, 5)
+	run(t, 1, func(c *comm.Comm) {
+		a := distMat(c, global)
+		n := global.Rows
+		xstar := sparse.RandomVector(n, 3)
+		b := make([]float64, n)
+		global.MulVec(b, xstar)
+
+		k := New(c)
+		k.SetOperators(a)
+		k.SetType(TypeCG)
+		k.SetPCType(PCNone)
+		k.SetTolerances(1e-12, 0, 0, 1000)
+		k.SetInitialGuessNonzero(true)
+		// Start exactly at the solution: zero iterations needed.
+		x := make([]float64, n)
+		copy(x, xstar)
+		if err := k.Solve(b, x); err != nil {
+			t.Fatal(err)
+		}
+		if k.Iterations() != 0 {
+			t.Errorf("warm start took %d iterations", k.Iterations())
+		}
+	})
+}
+
+func TestOptionsRoundTrip(t *testing.T) {
+	run(t, 1, func(c *comm.Comm) {
+		k := New(c)
+		set := map[string]string{
+			"ksp_type":                  "cg",
+			"pc_type":                   "jacobi",
+			"ksp_rtol":                  "1e-09",
+			"ksp_atol":                  "1e-30",
+			"ksp_dtol":                  "100000",
+			"ksp_max_it":                "123",
+			"ksp_gmres_restart":         "17",
+			"ksp_richardson_scale":      "0.5",
+			"ksp_initial_guess_nonzero": "true",
+		}
+		for key, v := range set {
+			if err := k.SetOption(key, v); err != nil {
+				t.Fatalf("SetOption(%s,%s): %v", key, v, err)
+			}
+		}
+		got := k.Options()
+		if got["ksp_type"] != "cg" || got["pc_type"] != "jacobi" {
+			t.Errorf("types not round-tripped: %v", got)
+		}
+		if got["ksp_max_it"] != "123" || got["ksp_gmres_restart"] != "17" {
+			t.Errorf("ints not round-tripped: %v", got)
+		}
+		if got["ksp_initial_guess_nonzero"] != "true" {
+			t.Errorf("bool not round-tripped: %v", got)
+		}
+		if !strings.Contains(k.OptionsString(), "ksp_type=cg") {
+			t.Error("OptionsString missing entries")
+		}
+		for _, bad := range [][2]string{
+			{"ksp_rtol", "x"}, {"ksp_rtol", "-1"}, {"ksp_max_it", "0"},
+			{"unknown_key", "1"}, {"ksp_initial_guess_nonzero", "maybe"},
+			{"ksp_gmres_restart", "zero"}, {"ksp_richardson_scale", "bad"},
+			{"ksp_atol", "nope"}, {"ksp_dtol", "nope"},
+		} {
+			if err := k.SetOption(bad[0], bad[1]); err == nil {
+				t.Errorf("SetOption(%s,%s) accepted", bad[0], bad[1])
+			}
+		}
+	})
+}
+
+func TestConvergedReasonStrings(t *testing.T) {
+	for r, frag := range map[ConvergedReason]string{
+		ConvergedRTol:        "relative",
+		ConvergedATol:        "absolute",
+		ConvergedIts:         "iteration",
+		DivergedMaxIts:       "maximum",
+		DivergedDTol:         "divergence",
+		DivergedBreakdown:    "breakdown",
+		DivergedIndefinitePC: "indefinite",
+		DivergedNull:         "not yet",
+	} {
+		if !strings.Contains(r.String(), frag) {
+			t.Errorf("%d: String %q missing %q", int(r), r.String(), frag)
+		}
+	}
+	if !ConvergedRTol.Converged() || DivergedMaxIts.Converged() {
+		t.Error("Converged() predicate wrong")
+	}
+}
+
+func TestIterationCountsGrowWithProblemSize(t *testing.T) {
+	// The shape behind Table 1's iteration column: fixed tolerance, larger
+	// grids take more iterations.
+	prev := 0
+	for _, nx := range []int{6, 12, 24} {
+		global := sparse.Laplace2D(nx, nx)
+		var its int
+		run(t, 1, func(c *comm.Comm) {
+			a := distMat(c, global)
+			k := New(c)
+			k.SetOperators(a)
+			k.SetType(TypeCG)
+			k.SetPCType(PCNone)
+			k.SetTolerances(1e-8, 0, 0, 10000)
+			solveAndCheck(t, c, global, k, a, 1e-5)
+			its = k.Iterations()
+		})
+		if its <= prev {
+			t.Errorf("iterations did not grow: %d after %d", its, prev)
+		}
+		prev = its
+	}
+}
+
+func TestFGMRESAndChebyshev(t *testing.T) {
+	global := sparse.Laplace2D(8, 8)
+	for _, method := range []string{TypeFGMRES, TypeChebyshev} {
+		for _, p := range []int{1, 2} {
+			run(t, p, func(c *comm.Comm) {
+				a := distMat(c, global)
+				k := New(c)
+				k.SetOperators(a)
+				if err := k.SetType(method); err != nil {
+					t.Fatal(err)
+				}
+				if err := k.SetPCType(PCJacobi); err != nil {
+					t.Fatal(err)
+				}
+				k.SetTolerances(1e-9, 0, 0, 20000)
+				solveAndCheck(t, c, global, k, a, 1e-6)
+			})
+		}
+	}
+}
+
+func TestFGMRESWithVariablePreconditioner(t *testing.T) {
+	// FGMRES tolerates a preconditioner that changes between iterations;
+	// here an inner Richardson solve with an iteration-dependent sweep
+	// count (the classic flexible-preconditioning scenario).
+	global := sparse.Laplace2D(7, 7)
+	run(t, 1, func(c *comm.Comm) {
+		a := distMat(c, global)
+		k := New(c)
+		k.SetOperators(a)
+		if err := k.SetType(TypeFGMRES); err != nil {
+			t.Fatal(err)
+		}
+		k.SetPC(&variablePC{a: a})
+		k.SetTolerances(1e-10, 0, 0, 5000)
+		solveAndCheck(t, c, global, k, a, 1e-6)
+	})
+}
+
+// variablePC applies a different number of Jacobi sweeps each call.
+type variablePC struct {
+	a     *Mat
+	calls int
+}
+
+func (p *variablePC) Type() string       { return "variable" }
+func (p *variablePC) SetUp(a *Mat) error { return nil }
+func (p *variablePC) Apply(z, r []float64) {
+	p.calls++
+	d, _ := p.a.Diagonal()
+	sweeps := 1 + p.calls%3
+	for i := range z {
+		z[i] = 0
+	}
+	t := make([]float64, len(z))
+	for s := 0; s < sweeps; s++ {
+		p.a.Apply(t, z)
+		for i := range z {
+			z[i] += 0.8 * (r[i] - t[i]) / d[i]
+		}
+	}
+}
+
+func TestChebyshevBounds(t *testing.T) {
+	global := sparse.Laplace2D(6, 6)
+	run(t, 1, func(c *comm.Comm) {
+		a := distMat(c, global)
+		k := New(c)
+		k.SetOperators(a)
+		if err := k.SetType(TypeChebyshev); err != nil {
+			t.Fatal(err)
+		}
+		k.SetPCType(PCNone)
+		// Laplace2D eigenvalues lie in (0, 8).
+		if err := k.SetChebyshevBounds(0.1, 8.1); err != nil {
+			t.Fatal(err)
+		}
+		k.SetTolerances(1e-9, 0, 0, 20000)
+		solveAndCheck(t, c, global, k, a, 1e-6)
+		// Invalid bounds rejected.
+		if err := k.SetChebyshevBounds(5, 2); err == nil {
+			t.Error("inverted bounds accepted")
+		}
+		if err := k.SetChebyshevBounds(-1, 2); err == nil {
+			t.Error("negative bound accepted")
+		}
+	})
+}
+
+func TestDivergenceToleranceDetected(t *testing.T) {
+	// Richardson with over-relaxation on an SPD system diverges; the
+	// dtol test must catch it rather than looping to maxits.
+	global := sparse.Laplace2D(6, 6)
+	run(t, 1, func(c *comm.Comm) {
+		a := distMat(c, global)
+		k := New(c)
+		k.SetOperators(a)
+		if err := k.SetType(TypeRichardson); err != nil {
+			t.Fatal(err)
+		}
+		k.SetPCType(PCNone)
+		if err := k.SetDamping(2.5); err != nil { // far beyond stability
+			t.Fatal(err)
+		}
+		k.SetTolerances(1e-10, 0, 1e4, 100000)
+		l := a.Layout()
+		b := make([]float64, l.LocalN)
+		for i := range b {
+			b[i] = 1
+		}
+		x := make([]float64, l.LocalN)
+		if err := k.Solve(b, x); err == nil {
+			t.Fatal("divergent iteration accepted")
+		}
+		if k.Reason() != DivergedDTol {
+			t.Errorf("reason = %v, want DivergedDTol", k.Reason())
+		}
+		if k.Iterations() > 1000 {
+			t.Errorf("divergence detected only after %d iterations", k.Iterations())
+		}
+	})
+}

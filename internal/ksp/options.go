@@ -1,0 +1,102 @@
+package ksp
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// SetOption configures the solver through PETSc-style string options, the
+// mechanism the LISI adapter's generic Set* methods translate into.
+// Recognized keys: ksp_type, pc_type, ksp_rtol, ksp_atol, ksp_dtol,
+// ksp_max_it, ksp_gmres_restart, ksp_richardson_scale,
+// ksp_initial_guess_nonzero.
+func (k *KSP) SetOption(key, value string) error {
+	switch key {
+	case "ksp_type":
+		return k.SetType(value)
+	case "pc_type":
+		return k.SetPCType(value)
+	case "ksp_rtol":
+		v, err := strconv.ParseFloat(value, 64)
+		if err != nil || v <= 0 {
+			return fmt.Errorf("ksp: option %s: bad value %q", key, value)
+		}
+		k.rtol = v
+	case "ksp_atol":
+		v, err := strconv.ParseFloat(value, 64)
+		if err != nil || v <= 0 {
+			return fmt.Errorf("ksp: option %s: bad value %q", key, value)
+		}
+		k.atol = v
+	case "ksp_dtol":
+		v, err := strconv.ParseFloat(value, 64)
+		if err != nil || v <= 0 {
+			return fmt.Errorf("ksp: option %s: bad value %q", key, value)
+		}
+		k.dtol = v
+	case "ksp_max_it":
+		v, err := strconv.Atoi(value)
+		if err != nil || v <= 0 {
+			return fmt.Errorf("ksp: option %s: bad value %q", key, value)
+		}
+		k.maxIts = v
+	case "ksp_gmres_restart":
+		v, err := strconv.Atoi(value)
+		if err != nil {
+			return fmt.Errorf("ksp: option %s: bad value %q", key, value)
+		}
+		return k.SetRestart(v)
+	case "ksp_richardson_scale":
+		v, err := strconv.ParseFloat(value, 64)
+		if err != nil {
+			return fmt.Errorf("ksp: option %s: bad value %q", key, value)
+		}
+		return k.SetDamping(v)
+	case "ksp_initial_guess_nonzero":
+		v, err := strconv.ParseBool(value)
+		if err != nil {
+			return fmt.Errorf("ksp: option %s: bad value %q", key, value)
+		}
+		k.guessNonzero = v
+	default:
+		return fmt.Errorf("ksp: unknown option %q", key)
+	}
+	return nil
+}
+
+// Options returns the current configuration as a key=value map, the data
+// behind LISI's GetAll (paper §7.2).
+func (k *KSP) Options() map[string]string {
+	pcType := PCNone
+	if k.pc != nil {
+		pcType = k.pc.Type()
+	}
+	return map[string]string{
+		"ksp_type":                  k.typ,
+		"pc_type":                   pcType,
+		"ksp_rtol":                  strconv.FormatFloat(k.rtol, 'g', -1, 64),
+		"ksp_atol":                  strconv.FormatFloat(k.atol, 'g', -1, 64),
+		"ksp_dtol":                  strconv.FormatFloat(k.dtol, 'g', -1, 64),
+		"ksp_max_it":                strconv.Itoa(k.maxIts),
+		"ksp_gmres_restart":         strconv.Itoa(k.restart),
+		"ksp_richardson_scale":      strconv.FormatFloat(k.damping, 'g', -1, 64),
+		"ksp_initial_guess_nonzero": strconv.FormatBool(k.guessNonzero),
+	}
+}
+
+// OptionsString renders Options deterministically as "k=v" lines.
+func (k *KSP) OptionsString() string {
+	opts := k.Options()
+	keys := make([]string, 0, len(opts))
+	for key := range opts {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, key := range keys {
+		fmt.Fprintf(&b, "%s=%s\n", key, opts[key])
+	}
+	return b.String()
+}

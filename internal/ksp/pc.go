@@ -1,0 +1,161 @@
+package ksp
+
+import (
+	"fmt"
+
+	"repro/internal/sparse"
+)
+
+// PC is a preconditioner: Apply computes z = M⁻¹·r on the local blocks.
+// SetUp is called once per operator (and again after the operator's
+// values change).
+type PC interface {
+	// Type returns the preconditioner's registered name.
+	Type() string
+	// SetUp prepares the preconditioner for the given operator.
+	SetUp(a *Mat) error
+	// Apply computes z = M⁻¹ r; z and r have the local vector length
+	// and must not alias.
+	Apply(z, r []float64)
+}
+
+// Preconditioner type names accepted by NewPC (mirroring PETSc's -pc_type
+// vocabulary).
+const (
+	PCNone    = "none"
+	PCJacobi  = "jacobi"
+	PCBJacobi = "bjacobi" // block Jacobi with a local ILU(0) inner solve
+	PCSOR     = "sor"
+	PCSSOR    = "ssor"
+	PCILU     = "ilu" // local ILU(0) (processor-block incomplete LU)
+)
+
+// NewPC constructs a preconditioner by type name.
+func NewPC(typ string) (PC, error) {
+	switch typ {
+	case PCNone, "":
+		return &pcNone{}, nil
+	case PCJacobi:
+		return &pcJacobi{}, nil
+	case PCBJacobi, PCILU:
+		return &pcBlockILU{name: typ}, nil
+	case PCSOR:
+		return &pcSOR{sweeps: 1, omega: 1.0, symmetric: false}, nil
+	case PCSSOR:
+		return &pcSOR{sweeps: 1, omega: 1.0, symmetric: true, name: PCSSOR}, nil
+	}
+	return nil, fmt.Errorf("ksp: unknown preconditioner type %q", typ)
+}
+
+// pcNone is the identity preconditioner.
+type pcNone struct{}
+
+func (*pcNone) Type() string       { return PCNone }
+func (*pcNone) SetUp(a *Mat) error { return nil }
+func (*pcNone) Apply(z, r []float64) {
+	copy(z, r)
+}
+
+// pcJacobi scales by the inverse diagonal.
+type pcJacobi struct {
+	invDiag []float64
+}
+
+func (*pcJacobi) Type() string { return PCJacobi }
+
+func (p *pcJacobi) SetUp(a *Mat) error {
+	d, err := a.Diagonal()
+	if err != nil {
+		return fmt.Errorf("ksp: jacobi: %w", err)
+	}
+	p.invDiag = make([]float64, len(d))
+	for i, v := range d {
+		if v == 0 {
+			return fmt.Errorf("ksp: jacobi: zero diagonal entry at local row %d", i)
+		}
+		p.invDiag[i] = 1 / v
+	}
+	return nil
+}
+
+func (p *pcJacobi) Apply(z, r []float64) {
+	for i := range z {
+		z[i] = r[i] * p.invDiag[i]
+	}
+}
+
+// pcBlockILU is processor-block Jacobi with an ILU(0) factorization of
+// each rank's diagonal block — PETSc's default parallel preconditioner
+// (bjacobi + ilu).
+type pcBlockILU struct {
+	name string
+	f    *ILU0
+}
+
+func (p *pcBlockILU) Type() string { return p.name }
+
+func (p *pcBlockILU) SetUp(a *Mat) error {
+	blk, err := a.DiagBlock()
+	if err != nil {
+		return fmt.Errorf("ksp: %s: %w", p.name, err)
+	}
+	f, err := NewILU0(blk)
+	if err != nil {
+		return fmt.Errorf("ksp: %s: %w", p.name, err)
+	}
+	p.f = f
+	return nil
+}
+
+func (p *pcBlockILU) Apply(z, r []float64) {
+	p.f.Solve(z, r)
+}
+
+// pcSOR applies local (processor-block) SOR or symmetric SOR sweeps to
+// the homogeneous-initial-guess correction equation.
+type pcSOR struct {
+	name      string
+	sweeps    int
+	omega     float64
+	symmetric bool
+	localCSR  *sparse.CSR
+}
+
+func (p *pcSOR) Type() string {
+	if p.name != "" {
+		return p.name
+	}
+	return PCSOR
+}
+
+func (p *pcSOR) SetUp(a *Mat) error {
+	blk, err := a.DiagBlock()
+	if err != nil {
+		return fmt.Errorf("ksp: sor: %w", err)
+	}
+	// Validate the diagonal once during setup.
+	d := blk.Diagonal()
+	for i, v := range d {
+		if v == 0 {
+			return fmt.Errorf("ksp: sor: zero diagonal at local row %d", i)
+		}
+	}
+	p.localCSR = blk
+	return nil
+}
+
+func (p *pcSOR) Apply(z, r []float64) {
+	for i := range z {
+		z[i] = 0
+	}
+	for s := 0; s < p.sweeps; s++ {
+		if err := sorSweep(p.localCSR, z, r, p.omega); err != nil {
+			panic(err) // diagonal was validated in SetUp
+		}
+		if p.symmetric {
+			if err := sorSweepBackward(p.localCSR, z, r, p.omega); err != nil {
+				panic(err)
+			}
+		}
+	}
+}

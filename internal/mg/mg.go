@@ -1,0 +1,379 @@
+// Package mg implements the multilevel extension the paper defers to
+// future work (§5.2 use case e, §9): a distributed geometric multigrid
+// V-cycle for the paper's model PDE on square grids. It demonstrates the
+// recursion pattern LISI anticipates — a multilevel solver built *on top
+// of* the interface, with the coarsest-level solve delegated to a LISI
+// SparseSolver through a callback so each level's solve re-enters the
+// interface.
+//
+// The hierarchy coarsens n → (n−1)/2 (fine grids of size 2^k − 1 coarsen
+// all the way down), with damped-Jacobi smoothing, full-weighting
+// restriction and bilinear prolongation as distributed rectangular
+// operators.
+package mg
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/comm"
+	"repro/internal/mesh"
+	"repro/internal/pmat"
+	"repro/internal/sparse"
+)
+
+// CoarseSolve solves the (small, gathered) coarsest system on every rank
+// and returns the full solution vector. The core package supplies a
+// closure that drives a LISI SparseSolver component, which is the
+// paper's "use LISI on each level" recursion.
+type CoarseSolve func(a *sparse.CSR, b []float64) ([]float64, error)
+
+// Options tune the V-cycle.
+type Options struct {
+	// Nu1, Nu2 are pre-/post-smoothing sweep counts (default 2).
+	Nu1, Nu2 int
+	// Omega is the Jacobi damping factor (default 0.8).
+	Omega float64
+	// MaxCycles bounds the V-cycle count (default 50).
+	MaxCycles int
+	// Tol is the relative residual tolerance (default 1e-8).
+	Tol float64
+	// CoarsestN stops coarsening when the grid is this size or smaller
+	// (default 3).
+	CoarsestN int
+	// Galerkin selects algebraically computed coarse operators
+	// A_{l+1} = R·A_l·P instead of re-discretizing the PDE on each
+	// coarser grid (the two classic ways of building a hierarchy).
+	Galerkin bool
+	// Gamma is the cycle index: 1 is a V-cycle (default), 2 a W-cycle
+	// (each level recurses twice into the next coarser level).
+	Gamma int
+	// Coarse solves the coarsest gathered system; required.
+	Coarse CoarseSolve
+}
+
+func (o *Options) setDefaults() {
+	if o.Nu1 == 0 {
+		o.Nu1 = 2
+	}
+	if o.Nu2 == 0 {
+		o.Nu2 = 2
+	}
+	if o.Omega == 0 {
+		o.Omega = 0.8
+	}
+	if o.MaxCycles == 0 {
+		o.MaxCycles = 50
+	}
+	if o.Tol == 0 {
+		o.Tol = 1e-8
+	}
+	if o.CoarsestN == 0 {
+		o.CoarsestN = 3
+	}
+	if o.Gamma == 0 {
+		o.Gamma = 1
+	}
+}
+
+// level holds one grid's distributed operator and transfer operators.
+type level struct {
+	n       int // grid size (n×n interior points)
+	layout  *pmat.Layout
+	a       *pmat.Mat
+	invDiag []float64
+	// restrict maps this level's residual to the next coarser level
+	// (nil on the coarsest); prolong maps coarse corrections up.
+	restrict *pmat.Mat
+	prolong  *pmat.Mat
+	// scratch vectors, local lengths.
+	r, z []float64
+}
+
+// Solver is a ready multigrid hierarchy for one problem instance.
+type Solver struct {
+	c       *comm.Comm
+	opts    Options
+	levels  []*level
+	coarseA *sparse.CSR // gathered coarsest operator (every rank)
+	cycles  int
+	rnorm   float64
+}
+
+// New builds the hierarchy for the problem (collective). p.Nx must equal
+// p.Ny and coarsen at least once (n odd and ≥ 2·CoarsestN+1).
+func New(c *comm.Comm, p mesh.Problem, opts Options) (*Solver, error) {
+	opts.setDefaults()
+	if opts.Coarse == nil {
+		return nil, fmt.Errorf("mg: Options.Coarse is required")
+	}
+	if p.Nx != p.Ny {
+		return nil, fmt.Errorf("mg: grid must be square, got %dx%d", p.Nx, p.Ny)
+	}
+	if p.Nx%2 == 0 || p.Nx < 2*opts.CoarsestN+1 {
+		return nil, fmt.Errorf("mg: grid size %d cannot coarsen (need odd n ≥ %d; sizes 2^k−1 coarsen fully)", p.Nx, 2*opts.CoarsestN+1)
+	}
+	s := &Solver{c: c, opts: opts}
+
+	prob := p
+	var galerkinLocal *sparse.CSR // coarse operator rows for this rank (Galerkin mode)
+	for {
+		var lvl *level
+		var err error
+		if galerkinLocal == nil {
+			lvl, err = buildLevel(c, prob)
+		} else {
+			lvl, err = buildLevelFromLocal(c, prob.Nx, galerkinLocal)
+		}
+		if err != nil {
+			return nil, err
+		}
+		s.levels = append(s.levels, lvl)
+		if prob.Nx <= opts.CoarsestN || prob.Nx%2 == 0 || (prob.Nx-1)/2 < opts.CoarsestN {
+			break
+		}
+		coarse := prob
+		coarse.Nx = (prob.Nx - 1) / 2
+		coarse.Ny = coarse.Nx
+		cl, err := pmat.EvenLayout(c, coarse.Nx*coarse.Ny)
+		if err != nil {
+			return nil, err
+		}
+		if lvl.restrict, err = buildRestriction(cl, lvl.layout, coarse.Nx, prob.Nx); err != nil {
+			return nil, err
+		}
+		if lvl.prolong, err = buildProlongation(lvl.layout, cl, prob.Nx, coarse.Nx); err != nil {
+			return nil, err
+		}
+		if opts.Galerkin {
+			// Triple product on the gathered operators; coarse grids are
+			// small, so the serial RAP at setup is cheap relative to the
+			// fine-level work.
+			rap, err := sparse.TripleProduct(
+				lvl.restrict.GatherGlobal(),
+				lvl.a.GatherGlobal(),
+				lvl.prolong.GatherGlobal())
+			if err != nil {
+				return nil, fmt.Errorf("mg: Galerkin coarse operator: %w", err)
+			}
+			galerkinLocal = rap.SubMatrix(cl.Start, cl.Start+cl.LocalN)
+		}
+		prob = coarse
+	}
+
+	// Gather the coarsest operator for the LISI coarse solve.
+	last := s.levels[len(s.levels)-1]
+	s.coarseA = last.a.GatherGlobal()
+	return s, nil
+}
+
+func buildLevel(c *comm.Comm, p mesh.Problem) (*level, error) {
+	l, err := pmat.EvenLayout(c, p.N())
+	if err != nil {
+		return nil, err
+	}
+	localA, _, err := p.GenerateLocal(l)
+	if err != nil {
+		return nil, err
+	}
+	return levelFromParts(p.Nx, l, localA)
+}
+
+// buildLevelFromLocal builds a level whose operator rows were computed
+// algebraically (Galerkin) rather than by discretization.
+func buildLevelFromLocal(c *comm.Comm, n int, localA *sparse.CSR) (*level, error) {
+	l, err := pmat.EvenLayout(c, n*n)
+	if err != nil {
+		return nil, err
+	}
+	return levelFromParts(n, l, localA)
+}
+
+func levelFromParts(n int, l *pmat.Layout, localA *sparse.CSR) (*level, error) {
+	a, err := pmat.NewMat(l, localA)
+	if err != nil {
+		return nil, err
+	}
+	d := a.Diagonal()
+	inv := make([]float64, len(d))
+	for i, v := range d {
+		if v == 0 {
+			return nil, fmt.Errorf("mg: zero diagonal on level n=%d", n)
+		}
+		inv[i] = 1 / v
+	}
+	return &level{
+		n: n, layout: l, a: a, invDiag: inv,
+		r: make([]float64, l.LocalN),
+		z: make([]float64, l.LocalN),
+	}, nil
+}
+
+// buildRestriction assembles the full-weighting operator R (coarse×fine):
+// coarse point (CI,CJ) sits at fine (2CI+1, 2CJ+1) and averages its 3×3
+// fine neighborhood with weights 1/4, 1/8, 1/16.
+func buildRestriction(coarseL, fineL *pmat.Layout, nc, nf int) (*pmat.Mat, error) {
+	coo := sparse.NewCOO(coarseL.LocalN, fineL.N)
+	// 1D full-weighting stencil [1/4, 1/2, 1/4]; the tensor product gives
+	// the classic 2D weights 1/4 (center), 1/8 (edge), 1/16 (corner).
+	w := [3]float64{0.25, 0.5, 0.25}
+	for lr := 0; lr < coarseL.LocalN; lr++ {
+		cr := coarseL.Start + lr
+		ci := cr % nc
+		cj := cr / nc
+		fi := 2*ci + 1
+		fj := 2*cj + 1
+		for dj := -1; dj <= 1; dj++ {
+			for di := -1; di <= 1; di++ {
+				ii := fi + di
+				jj := fj + dj
+				if ii < 0 || ii >= nf || jj < 0 || jj >= nf {
+					continue
+				}
+				coo.Append(lr, jj*nf+ii, w[di+1]*w[dj+1])
+			}
+		}
+	}
+	return pmat.NewMatRect(coarseL, fineL, coo.ToCSR())
+}
+
+// interpWeight is one 1D interpolation contribution: coarse index and
+// weight.
+type interpWeight struct {
+	idx int
+	w   float64
+}
+
+// buildProlongation assembles bilinear interpolation P (fine×coarse).
+func buildProlongation(fineL, coarseL *pmat.Layout, nf, nc int) (*pmat.Mat, error) {
+	coo := sparse.NewCOO(fineL.LocalN, coarseL.N)
+	// 1D contributions of fine index i to coarse indices: fine points
+	// coinciding with a coarse point copy it; in-between points average
+	// their coarse neighbors (boundary neighbors are the zero Dirichlet
+	// values and drop out).
+	contrib := func(i int, buf []interpWeight) []interpWeight {
+		buf = buf[:0]
+		if i%2 == 1 {
+			return append(buf, interpWeight{(i - 1) / 2, 1})
+		}
+		if left := i/2 - 1; left >= 0 {
+			buf = append(buf, interpWeight{left, 0.5})
+		}
+		if right := i / 2; right < nc {
+			buf = append(buf, interpWeight{right, 0.5})
+		}
+		return buf
+	}
+	var bufX, bufY []interpWeight
+	for lr := 0; lr < fineL.LocalN; lr++ {
+		fr := fineL.Start + lr
+		fi := fr % nf
+		fj := fr / nf
+		bufX = contrib(fi, bufX)
+		bufY = contrib(fj, bufY)
+		for _, cx := range bufX {
+			for _, cy := range bufY {
+				coo.Append(lr, cy.idx*nc+cx.idx, cx.w*cy.w)
+			}
+		}
+	}
+	return pmat.NewMatRect(fineL, coarseL, coo.ToCSR())
+}
+
+// Levels returns the number of grids in the hierarchy.
+func (s *Solver) Levels() int { return len(s.levels) }
+
+// Cycles returns the V-cycles used by the last Solve.
+func (s *Solver) Cycles() int { return s.cycles }
+
+// ResidualNorm returns the final residual 2-norm of the last Solve.
+func (s *Solver) ResidualNorm() float64 { return s.rnorm }
+
+// FineLayout returns the distribution of the finest level.
+func (s *Solver) FineLayout() *pmat.Layout { return s.levels[0].layout }
+
+// Solve runs V-cycles on A·x = b until the relative residual falls under
+// Tol (collective). b and x are the finest level's local blocks; x is
+// used as the initial guess.
+func (s *Solver) Solve(b, x []float64) error {
+	fine := s.levels[0]
+	if len(b) != fine.layout.LocalN || len(x) != fine.layout.LocalN {
+		return fmt.Errorf("mg: Solve: local vectors must have length %d", fine.layout.LocalN)
+	}
+	bnorm := pmat.Norm2(s.c, b)
+	if bnorm == 0 {
+		bnorm = 1
+	}
+	for cycle := 1; cycle <= s.opts.MaxCycles; cycle++ {
+		if err := s.vcycle(0, b, x); err != nil {
+			return err
+		}
+		res := fine.a.Residual(b, x)
+		s.cycles = cycle
+		s.rnorm = res
+		if res <= s.opts.Tol*bnorm {
+			return nil
+		}
+		if math.IsNaN(res) || math.IsInf(res, 0) {
+			return fmt.Errorf("mg: diverged at cycle %d", cycle)
+		}
+	}
+	return fmt.Errorf("mg: no convergence in %d cycles (relative residual %.3e)", s.opts.MaxCycles, s.rnorm/bnorm)
+}
+
+// smooth performs sweeps of damped Jacobi: x ← x + ω·D⁻¹(b − A·x).
+func (lvl *level) smooth(b, x []float64, omega float64, sweeps int) {
+	for s := 0; s < sweeps; s++ {
+		lvl.a.Apply(lvl.r, x)
+		for i := range x {
+			x[i] += omega * (b[i] - lvl.r[i]) * lvl.invDiag[i]
+		}
+	}
+}
+
+// vcycle recursively applies one V-cycle at level k for A_k·x = b.
+func (s *Solver) vcycle(k int, b, x []float64) error {
+	lvl := s.levels[k]
+	if k == len(s.levels)-1 {
+		// Coarsest: gather and delegate to the LISI coarse solver.
+		bGlobal := pmat.AllGather(lvl.layout, b)
+		xg, err := s.opts.Coarse(s.coarseA, bGlobal)
+		if err != nil {
+			return fmt.Errorf("mg: coarse solve: %w", err)
+		}
+		copy(x, xg[lvl.layout.Start:lvl.layout.Start+lvl.layout.LocalN])
+		return nil
+	}
+	lvl.smooth(b, x, s.opts.Omega, s.opts.Nu1)
+
+	// Residual and restriction.
+	lvl.a.Apply(lvl.r, x)
+	for i := range lvl.r {
+		lvl.r[i] = b[i] - lvl.r[i]
+	}
+	next := s.levels[k+1]
+	bc := make([]float64, next.layout.LocalN)
+	lvl.restrict.Apply(bc, lvl.r)
+
+	// γ recursions into the coarser level: γ=1 is the V-cycle, γ=2 the
+	// W-cycle (the coarsest level solves exactly either way, so extra
+	// visits there are skipped).
+	xc := make([]float64, next.layout.LocalN)
+	gamma := s.opts.Gamma
+	if k+1 == len(s.levels)-1 {
+		gamma = 1
+	}
+	for g := 0; g < gamma; g++ {
+		if err := s.vcycle(k+1, bc, xc); err != nil {
+			return err
+		}
+	}
+
+	// Prolong and correct.
+	lvl.prolong.Apply(lvl.z, xc)
+	for i := range x {
+		x[i] += lvl.z[i]
+	}
+	lvl.smooth(b, x, s.opts.Omega, s.opts.Nu2)
+	return nil
+}

@@ -1,0 +1,336 @@
+package pmat
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/comm"
+	"repro/internal/sparse"
+)
+
+// tag space reserved for ghost exchange messages.
+const tagGhost = 0x7a00
+
+// Mat is a square sparse matrix distributed by block rows: each rank holds
+// the CSR of its own rows. Vectors are distributed conformally with the
+// row layout. A communication plan built at construction exchanges the
+// off-process ("ghost") vector entries needed by the local rows, so Apply
+// performs one message round per product — the structure of a
+// distributed-memory SpMV.
+type Mat struct {
+	L *Layout
+
+	// C is the column/input-vector layout; equal to L for square
+	// matrices, distinct for rectangular operators such as multigrid
+	// restriction and prolongation.
+	C *Layout
+
+	// local is the compacted local operator: its column space is
+	// [0,LocalN) for owned entries followed by [LocalN, LocalN+G) for
+	// ghost entries in the order of ghostCols.
+	local *sparse.CSR
+
+	// interior and boundary split local by column ownership so Apply can
+	// overlap the ghost exchange with the interior product: interior
+	// holds the entries whose columns this rank owns, boundary the
+	// entries referencing ghost columns (reindexed to [0, G)).
+	interior *sparse.CSR
+	boundary *sparse.CSR
+
+	// ghostCols are the global column indices this rank needs but does
+	// not own, sorted ascending.
+	ghostCols []int
+
+	// sendIdx[r] lists this rank's local indices whose values rank r
+	// needs before each product. recvCnt[r] is how many ghost values
+	// arrive from r; they fill the ghost buffer slots whose ghostCols
+	// are owned by r (contiguous because ghostCols is sorted by global
+	// index and ownership is by contiguous ranges).
+	sendIdx [][]int
+	recvOff []int // offset into ghost buffer per source rank
+	recvCnt []int
+
+	xext []float64 // scratch: [local x | ghosts]
+}
+
+// NewMat builds a square distributed matrix from this rank's local rows
+// (collective). localRows must have Rows == l.LocalN and Cols == l.N, with
+// global column indices. The CSR arrays are not retained; a compacted
+// copy is made.
+func NewMat(l *Layout, localRows *sparse.CSR) (*Mat, error) {
+	return NewMatRect(l, l, localRows)
+}
+
+// NewMatRect builds a rectangular distributed matrix whose rows follow
+// rowL and whose input vectors follow colL (collective). localRows must
+// have Rows == rowL.LocalN and Cols == colL.N, with global column
+// indices.
+func NewMatRect(rowL, colL *Layout, localRows *sparse.CSR) (*Mat, error) {
+	if localRows.Rows != rowL.LocalN {
+		return nil, fmt.Errorf("pmat: NewMatRect: local matrix has %d rows, layout owns %d", localRows.Rows, rowL.LocalN)
+	}
+	if localRows.Cols != colL.N {
+		return nil, fmt.Errorf("pmat: NewMatRect: local matrix has %d cols, want global size %d", localRows.Cols, colL.N)
+	}
+	m := &Mat{L: rowL, C: colL}
+
+	// Collect ghost columns.
+	ghost := make(map[int]bool)
+	for _, j := range localRows.ColInd {
+		if !colL.Owns(j) {
+			ghost[j] = true
+		}
+	}
+	m.ghostCols = make([]int, 0, len(ghost))
+	for j := range ghost {
+		m.ghostCols = append(m.ghostCols, j)
+	}
+	sort.Ints(m.ghostCols)
+
+	// Compact the column space: owned -> [0,LocalN), ghosts follow.
+	ghostSlot := make(map[int]int, len(m.ghostCols))
+	for s, j := range m.ghostCols {
+		ghostSlot[j] = colL.LocalN + s
+	}
+	rp := make([]int, len(localRows.RowPtr))
+	copy(rp, localRows.RowPtr)
+	ci := make([]int, len(localRows.ColInd))
+	v := make([]float64, len(localRows.Vals))
+	copy(v, localRows.Vals)
+	for k, j := range localRows.ColInd {
+		if colL.Owns(j) {
+			ci[k] = j - colL.Start
+		} else {
+			ci[k] = ghostSlot[j]
+		}
+	}
+	var err error
+	m.local, err = sparse.NewCSR(rowL.LocalN, colL.LocalN+len(m.ghostCols), rp, ci, v)
+	if err != nil {
+		return nil, fmt.Errorf("pmat: NewMatRect: %v", err)
+	}
+	if err := m.splitInteriorBoundary(); err != nil {
+		return nil, fmt.Errorf("pmat: NewMatRect: %v", err)
+	}
+
+	m.buildPlan()
+	m.xext = make([]float64, colL.LocalN+len(m.ghostCols))
+	return m, nil
+}
+
+// splitInteriorBoundary partitions the compacted operator by column
+// ownership, enabling communication/computation overlap in Apply.
+func (m *Mat) splitInteriorBoundary() error {
+	nLoc := m.C.LocalN
+	nGhost := len(m.ghostCols)
+	intCOO := sparse.NewCOO(m.L.LocalN, nLoc)
+	bndCOO := sparse.NewCOO(m.L.LocalN, nGhost)
+	for i := 0; i < m.L.LocalN; i++ {
+		cols, vals := m.local.RowView(i)
+		for k, j := range cols {
+			if j < nLoc {
+				intCOO.Append(i, j, vals[k])
+			} else {
+				bndCOO.Append(i, j-nLoc, vals[k])
+			}
+		}
+	}
+	m.interior = intCOO.ToCSR()
+	m.boundary = bndCOO.ToCSR()
+	return nil
+}
+
+// buildPlan exchanges ghost requests so every rank learns which of its
+// local entries each peer needs (collective).
+func (m *Mat) buildPlan() {
+	l := m.C
+	p := l.c.Size()
+	m.sendIdx = make([][]int, p)
+	m.recvOff = make([]int, p)
+	m.recvCnt = make([]int, p)
+
+	// Group my ghost columns by owner; contiguous in sorted order.
+	reqFlat := make([]int, 0, 2*p+len(m.ghostCols))
+	i := 0
+	for r := 0; r < p; r++ {
+		start := i
+		for i < len(m.ghostCols) && m.ghostCols[i] < l.Starts[r+1] {
+			i++
+		}
+		m.recvOff[r] = start
+		m.recvCnt[r] = i - start
+		reqFlat = append(reqFlat, i-start)
+		reqFlat = append(reqFlat, m.ghostCols[start:i]...)
+	}
+
+	// Everyone publishes their per-owner request lists.
+	all := l.c.AllGatherInts(reqFlat)
+	for src := 0; src < p; src++ {
+		if src == l.c.Rank() {
+			continue
+		}
+		flat := all[src]
+		pos := 0
+		for r := 0; r < p; r++ {
+			cnt := flat[pos]
+			pos++
+			if r == l.c.Rank() && cnt > 0 {
+				idx := make([]int, cnt)
+				for k := 0; k < cnt; k++ {
+					idx[k] = flat[pos+k] - l.Start
+				}
+				m.sendIdx[src] = idx
+			}
+			pos += cnt
+		}
+	}
+}
+
+// Dims returns the global dimensions.
+func (m *Mat) Dims() (int, int) { return m.L.N, m.C.N }
+
+// LocalNNZ returns the number of stored entries on this rank.
+func (m *Mat) LocalNNZ() int { return m.local.NNZ() }
+
+// GlobalNNZ returns the total number of stored entries (collective).
+func (m *Mat) GlobalNNZ() int {
+	return m.L.c.AllReduceInt(m.local.NNZ(), comm.OpSum)
+}
+
+// NumGhosts returns the number of off-process columns this rank needs.
+func (m *Mat) NumGhosts() int { return len(m.ghostCols) }
+
+// Apply computes y = A·x for conformally distributed x and y
+// (collective). It overlaps communication with computation in the
+// standard way: ghost values are posted first, the interior product
+// (owned columns only) runs while they are in flight, and the boundary
+// product is added once they arrive. x must not alias y.
+func (m *Mat) Apply(y, x []float64) {
+	l := m.C
+	if len(x) != m.C.LocalN || len(y) != m.L.LocalN {
+		panic(fmt.Sprintf("pmat: Apply: local vectors must have lengths %d (in) and %d (out)", m.C.LocalN, m.L.LocalN))
+	}
+	// Post all sends first; mailbox delivery is non-blocking so this
+	// cannot deadlock.
+	var buf []float64
+	for r, idx := range m.sendIdx {
+		if len(idx) == 0 {
+			continue
+		}
+		buf = buf[:0]
+		for _, li := range idx {
+			buf = append(buf, x[li])
+		}
+		l.c.SendFloat64s(r, tagGhost, buf)
+	}
+
+	// Interior product while the ghost values travel.
+	m.interior.MulVec(y, x)
+
+	// Collect ghosts and add the boundary contribution.
+	ghosts := m.xext[:len(m.ghostCols)]
+	for r := 0; r < l.c.Size(); r++ {
+		if m.recvCnt[r] == 0 {
+			continue
+		}
+		vals, _ := l.c.RecvFloat64s(r, tagGhost)
+		if len(vals) != m.recvCnt[r] {
+			panic(fmt.Sprintf("pmat: Apply: rank %d sent %d ghosts, want %d", r, len(vals), m.recvCnt[r]))
+		}
+		copy(ghosts[m.recvOff[r]:], vals)
+	}
+	if m.boundary.NNZ() > 0 {
+		m.boundary.MulVecAdd(y, ghosts)
+	}
+}
+
+// DiagBlock returns this rank's diagonal block (rows and columns it owns)
+// as a LocalN×LocalN CSR — the operator block-Jacobi style preconditioners
+// factor.
+func (m *Mat) DiagBlock() *sparse.CSR {
+	if m.L != m.C {
+		panic("pmat: DiagBlock requires a square matrix")
+	}
+	coo := sparse.NewCOO(m.L.LocalN, m.L.LocalN)
+	for i := 0; i < m.L.LocalN; i++ {
+		cols, vals := m.local.RowView(i)
+		for k, j := range cols {
+			if j < m.L.LocalN {
+				coo.Append(i, j, vals[k])
+			}
+		}
+	}
+	return coo.ToCSR()
+}
+
+// Diagonal returns the local portion of the global main diagonal.
+func (m *Mat) Diagonal() []float64 {
+	if m.L != m.C {
+		panic("pmat: Diagonal requires a square matrix")
+	}
+	d := make([]float64, m.L.LocalN)
+	for i := 0; i < m.L.LocalN; i++ {
+		cols, vals := m.local.RowView(i)
+		for k, j := range cols {
+			if j == i {
+				d[i] = vals[k]
+				break
+			}
+		}
+	}
+	return d
+}
+
+// LocalRowsGlobal reconstructs this rank's rows with global column
+// indices (the inverse of the compaction done at construction).
+func (m *Mat) LocalRowsGlobal() *sparse.CSR {
+	rp := make([]int, len(m.local.RowPtr))
+	copy(rp, m.local.RowPtr)
+	ci := make([]int, len(m.local.ColInd))
+	v := make([]float64, len(m.local.Vals))
+	copy(v, m.local.Vals)
+	for k, j := range m.local.ColInd {
+		if j < m.C.LocalN {
+			ci[k] = j + m.C.Start
+		} else {
+			ci[k] = m.ghostCols[j-m.C.LocalN]
+		}
+	}
+	out, err := sparse.NewCSR(m.L.LocalN, m.C.N, rp, ci, v)
+	if err != nil {
+		panic(fmt.Sprintf("pmat: LocalRowsGlobal: %v", err))
+	}
+	return out
+}
+
+// GatherGlobal assembles the full matrix on every rank (collective). This
+// is the substitution path used by the direct-solver package, standing in
+// for a distributed factorization; it is documented in DESIGN.md.
+func (m *Mat) GatherGlobal() *sparse.CSR {
+	l := m.L
+	loc := m.LocalRowsGlobal()
+	coo := loc.ToCOO()
+	// Shift local row indices to global.
+	rowsG := make([]int, len(coo.Row))
+	for k, i := range coo.Row {
+		rowsG[k] = i + l.Start
+	}
+	allRows := l.c.AllGatherVInts(rowsG)
+	allCols := l.c.AllGatherVInts(coo.Col)
+	allVals := l.c.AllGatherVFloat64s(coo.Val)
+	g, err := sparse.NewCOOFromArrays(l.N, m.C.N, allRows, allCols, allVals)
+	if err != nil {
+		panic(fmt.Sprintf("pmat: GatherGlobal: %v", err))
+	}
+	return g.ToCSR()
+}
+
+// Residual computes the global 2-norm of b − A·x (collective).
+func (m *Mat) Residual(b, x []float64) float64 {
+	r := make([]float64, m.L.LocalN)
+	m.Apply(r, x)
+	for i := range r {
+		r[i] = b[i] - r[i]
+	}
+	return Norm2(m.L.c, r)
+}

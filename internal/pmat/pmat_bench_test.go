@@ -1,0 +1,81 @@
+package pmat
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/sparse"
+)
+
+// BenchmarkApply measures the distributed SpMV — ghost exchange plus
+// local product — the inner kernel of every iterative solve in this
+// repository.
+func BenchmarkApply(b *testing.B) {
+	global := sparse.Laplace2D(100, 100) // n = 10,000
+	for _, p := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
+			w, err := comm.NewWorld(p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(global.NNZ() * 8))
+			if err := w.Run(func(c *comm.Comm) {
+				l, m := distribute(c, global)
+				x := make([]float64, l.LocalN)
+				y := make([]float64, l.LocalN)
+				for i := range x {
+					x[i] = 1
+				}
+				c.Barrier()
+				for i := 0; i < b.N; i++ {
+					m.Apply(y, x)
+				}
+			}); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+// BenchmarkDot measures the distributed inner product (one allreduce).
+func BenchmarkDot(b *testing.B) {
+	for _, p := range []int{2, 8} {
+		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
+			w, err := comm.NewWorld(p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := w.Run(func(c *comm.Comm) {
+				l, _ := EvenLayout(c, 10000)
+				x := make([]float64, l.LocalN)
+				for i := 0; i < b.N; i++ {
+					Dot(c, x, x)
+				}
+			}); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+// BenchmarkPlanBuild measures the ghost-plan construction (matrix
+// assembly cost in the CCA path).
+func BenchmarkPlanBuild(b *testing.B) {
+	global := sparse.Laplace2D(60, 60)
+	w, err := comm.NewWorld(4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := w.Run(func(c *comm.Comm) {
+		l, _ := EvenLayout(c, global.Rows)
+		local := global.SubMatrix(l.Start, l.Start+l.LocalN)
+		for i := 0; i < b.N; i++ {
+			if _, err := NewMat(l, local); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -1,0 +1,127 @@
+package slu
+
+import (
+	"fmt"
+
+	"repro/internal/pmat"
+	"repro/internal/sparse"
+)
+
+// DistSolver is the distributed front end standing in for SuperLU_DIST:
+// it accepts a block-row distributed matrix and right-hand side and
+// returns the conformally distributed solution. Internally the matrix is
+// gathered to rank 0 and factored there — a documented substitution
+// (DESIGN.md): the paper uses SuperLU only as one more package behind the
+// LISI port, and gather-to-root preserves the call pattern (distributed
+// data in, distributed solution out) while keeping the factorization
+// serial.
+type DistSolver struct {
+	layout *pmat.Layout
+	f      *LU         // non-nil on rank 0 only
+	global *sparse.CSR // non-nil on rank 0 only
+	nnz    int
+}
+
+// NewDistSolver gathers the distributed matrix to rank 0 and factors it
+// there (collective). Every rank receives the same success/failure
+// outcome.
+func NewDistSolver(m *pmat.Mat, opts Options) (*DistSolver, error) {
+	l := m.L
+	c := l.Comm()
+	d := &DistSolver{layout: l}
+	// GatherGlobal assembles on every rank; only rank 0 retains it. The
+	// assembly cost is dominated by the factorization, and the gather is
+	// itself the collective every rank must join.
+	global := m.GatherGlobal()
+	errText := ""
+	if c.Rank() == 0 {
+		f, err := Factor(global, opts)
+		if err != nil {
+			errText = err.Error()
+		} else {
+			d.f = f
+			d.global = global
+			d.nnz = global.NNZ()
+		}
+	}
+	errText = c.BcastString(0, errText)
+	if errText != "" {
+		return nil, fmt.Errorf("slu: distributed factorization failed: %s", errText)
+	}
+	d.nnz = c.BcastInt(0, d.nnz)
+	return d, nil
+}
+
+// Factorization exposes the LU factors (nil on ranks other than 0).
+func (d *DistSolver) Factorization() *LU { return d.f }
+
+// FillRatio reports nnz(L+U)/nnz(A) (collective).
+func (d *DistSolver) FillRatio() float64 {
+	c := d.layout.Comm()
+	v := 0.0
+	if c.Rank() == 0 {
+		v = d.f.FillRatio(d.nnz)
+	}
+	all := c.BcastFloat64s(0, []float64{v})
+	return all[0]
+}
+
+// Solve solves A·x = b for a conformally distributed right-hand side and
+// returns this rank's block of the solution (collective).
+func (d *DistSolver) Solve(bLocal []float64) ([]float64, error) {
+	l := d.layout
+	if len(bLocal) != l.LocalN {
+		return nil, fmt.Errorf("slu: DistSolver.Solve: local rhs has length %d, want %d", len(bLocal), l.LocalN)
+	}
+	x, _, err := d.rootSolve(bLocal, 0)
+	if err != nil {
+		return nil, err
+	}
+	return x, nil
+}
+
+// rootSolve gathers the rhs at rank 0, solves (with optional refinement
+// steps), and scatters the solution back (collective).
+func (d *DistSolver) rootSolve(bLocal []float64, steps int) ([]float64, float64, error) {
+	l := d.layout
+	c := l.Comm()
+	bGlobal := pmat.Gather(l, 0, bLocal)
+	var xGlobal []float64
+	res := 0.0
+	errText := ""
+	if c.Rank() == 0 {
+		x, err := d.f.Solve(bGlobal)
+		if err != nil {
+			errText = err.Error()
+		} else {
+			if steps > 0 {
+				res, err = d.f.Refine(d.global, bGlobal, x, steps)
+				if err != nil {
+					errText = err.Error()
+				}
+			}
+			xGlobal = x
+		}
+	}
+	errText = c.BcastString(0, errText)
+	if errText != "" {
+		return nil, 0, fmt.Errorf("slu: %s", errText)
+	}
+	xl := pmat.Scatter(l, 0, xGlobal)
+	resAll := c.BcastFloat64s(0, []float64{res})
+	return xl, resAll[0], nil
+}
+
+// SolveRefined solves like Solve and then applies steps of iterative
+// refinement (steps may be 0), returning this rank's solution block and
+// the global ∞-norm of the final residual (collective).
+func (d *DistSolver) SolveRefined(bLocal []float64, steps int) ([]float64, float64, error) {
+	l := d.layout
+	if len(bLocal) != l.LocalN {
+		return nil, 0, fmt.Errorf("slu: DistSolver.SolveRefined: local rhs has length %d, want %d", len(bLocal), l.LocalN)
+	}
+	if steps < 0 {
+		return nil, 0, fmt.Errorf("slu: DistSolver.SolveRefined: negative step count %d", steps)
+	}
+	return d.rootSolve(bLocal, steps)
+}

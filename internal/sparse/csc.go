@@ -1,0 +1,80 @@
+package sparse
+
+import "fmt"
+
+// CSC is a compressed-sparse-column matrix: for column j the row indices
+// are RowInd[ColPtr[j]:ColPtr[j+1]] with matching Vals. It is the natural
+// input format for the direct solver package.
+type CSC struct {
+	Rows, Cols int
+	ColPtr     []int
+	RowInd     []int
+	Vals       []float64
+}
+
+// NewCSC validates the raw arrays and wraps them without copying.
+func NewCSC(rows, cols int, colPtr, rowInd []int, vals []float64) (*CSC, error) {
+	if rows < 0 || cols < 0 {
+		return nil, fmt.Errorf("sparse: NewCSC: negative dimensions %dx%d", rows, cols)
+	}
+	if len(colPtr) != cols+1 {
+		return nil, fmt.Errorf("sparse: NewCSC: colPtr length %d, want %d", len(colPtr), cols+1)
+	}
+	if colPtr[0] != 0 || colPtr[cols] != len(rowInd) || len(rowInd) != len(vals) {
+		return nil, fmt.Errorf("sparse: NewCSC: inconsistent array lengths")
+	}
+	for j := 0; j < cols; j++ {
+		if colPtr[j] > colPtr[j+1] {
+			return nil, fmt.Errorf("sparse: NewCSC: colPtr not monotone at col %d", j)
+		}
+	}
+	for _, i := range rowInd {
+		if i < 0 || i >= rows {
+			return nil, fmt.Errorf("sparse: NewCSC: row index %d out of range [0,%d)", i, rows)
+		}
+	}
+	return &CSC{Rows: rows, Cols: cols, ColPtr: colPtr, RowInd: rowInd, Vals: vals}, nil
+}
+
+// Dims returns (rows, cols).
+func (a *CSC) Dims() (int, int) { return a.Rows, a.Cols }
+
+// NNZ returns the number of stored entries.
+func (a *CSC) NNZ() int { return len(a.Vals) }
+
+// MulVec computes y = A*x.
+func (a *CSC) MulVec(y, x []float64) {
+	checkDims("CSC.MulVec x", a.Cols, len(x))
+	checkDims("CSC.MulVec y", a.Rows, len(y))
+	for i := range y {
+		y[i] = 0
+	}
+	for j := 0; j < a.Cols; j++ {
+		xj := x[j]
+		if xj == 0 {
+			continue
+		}
+		for k := a.ColPtr[j]; k < a.ColPtr[j+1]; k++ {
+			y[a.RowInd[k]] += a.Vals[k] * xj
+		}
+	}
+}
+
+// ToCSR converts to CSR form.
+func (a *CSC) ToCSR() *CSR {
+	// A CSC of A is the CSR of Aᵀ; transpose it back.
+	t := &CSR{Rows: a.Cols, Cols: a.Rows, RowPtr: a.ColPtr, ColInd: a.RowInd, Vals: a.Vals}
+	r := t.Transpose()
+	return r
+}
+
+// Clone returns a deep copy.
+func (a *CSC) Clone() *CSC {
+	cp := make([]int, len(a.ColPtr))
+	copy(cp, a.ColPtr)
+	ri := make([]int, len(a.RowInd))
+	copy(ri, a.RowInd)
+	v := make([]float64, len(a.Vals))
+	copy(v, a.Vals)
+	return &CSC{Rows: a.Rows, Cols: a.Cols, ColPtr: cp, RowInd: ri, Vals: v}
+}

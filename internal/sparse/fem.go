@@ -1,0 +1,90 @@
+package sparse
+
+import "fmt"
+
+// Element is one finite element's contribution: a dense ke×ke stiffness
+// block (row-major) scattered to the global rows/columns in Nodes.
+type Element struct {
+	Nodes []int     // global indices, length ke
+	Ke    []float64 // row-major ke×ke element matrix
+}
+
+// FEM is the element-wise assembly format of the LISI SparseStruct enum:
+// the matrix is represented as a sum of element matrices, which is how
+// finite-element applications naturally hold their operator before (or
+// instead of) global assembly.
+type FEM struct {
+	Rows, Cols int
+	Elements   []Element
+}
+
+// NewFEM returns an empty FEM container with global dimensions.
+func NewFEM(rows, cols int) *FEM { return &FEM{Rows: rows, Cols: cols} }
+
+// Dims returns (rows, cols).
+func (f *FEM) Dims() (int, int) { return f.Rows, f.Cols }
+
+// NNZ returns the total number of element-matrix entries (before
+// assembly duplicates are merged).
+func (f *FEM) NNZ() int {
+	n := 0
+	for _, e := range f.Elements {
+		n += len(e.Ke)
+	}
+	return n
+}
+
+// AddElement validates and appends one element contribution.
+func (f *FEM) AddElement(nodes []int, ke []float64) error {
+	ne := len(nodes)
+	if len(ke) != ne*ne {
+		return fmt.Errorf("sparse: FEM.AddElement: element matrix has %d entries, want %d", len(ke), ne*ne)
+	}
+	for _, n := range nodes {
+		if n < 0 || n >= f.Rows || n >= f.Cols {
+			return fmt.Errorf("sparse: FEM.AddElement: node %d outside %dx%d", n, f.Rows, f.Cols)
+		}
+	}
+	f.Elements = append(f.Elements, Element{Nodes: nodes, Ke: ke})
+	return nil
+}
+
+// MulVec computes y = A*x without assembling (element-by-element), the
+// "matrix-free" product FEM codes use.
+func (f *FEM) MulVec(y, x []float64) {
+	checkDims("FEM.MulVec x", f.Cols, len(x))
+	checkDims("FEM.MulVec y", f.Rows, len(y))
+	for i := range y {
+		y[i] = 0
+	}
+	for _, e := range f.Elements {
+		ne := len(e.Nodes)
+		for r := 0; r < ne; r++ {
+			s := 0.0
+			for c := 0; c < ne; c++ {
+				s += e.Ke[r*ne+c] * x[e.Nodes[c]]
+			}
+			y[e.Nodes[r]] += s
+		}
+	}
+}
+
+// ToCOO scatters all element matrices into a triplet list (duplicates
+// preserved; they sum on conversion to CSR).
+func (f *FEM) ToCOO() *COO {
+	coo := NewCOO(f.Rows, f.Cols)
+	for _, e := range f.Elements {
+		ne := len(e.Nodes)
+		for r := 0; r < ne; r++ {
+			for c := 0; c < ne; c++ {
+				if v := e.Ke[r*ne+c]; v != 0 {
+					coo.Append(e.Nodes[r], e.Nodes[c], v)
+				}
+			}
+		}
+	}
+	return coo
+}
+
+// ToCSR assembles the global sparse matrix.
+func (f *FEM) ToCSR() *CSR { return f.ToCOO().ToCSR() }

@@ -1,0 +1,113 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Identity returns the n×n identity in CSR form.
+func Identity(n int) *CSR {
+	rp := make([]int, n+1)
+	ci := make([]int, n)
+	v := make([]float64, n)
+	for i := 0; i < n; i++ {
+		rp[i+1] = i + 1
+		ci[i] = i
+		v[i] = 1
+	}
+	return &CSR{Rows: n, Cols: n, RowPtr: rp, ColInd: ci, Vals: v}
+}
+
+// Tridiag returns the n×n tridiagonal matrix with constant bands
+// (sub, diag, super) in CSR form.
+func Tridiag(n int, sub, diag, super float64) *CSR {
+	coo := NewCOO(n, n)
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			coo.Append(i, i-1, sub)
+		}
+		coo.Append(i, i, diag)
+		if i < n-1 {
+			coo.Append(i, i+1, super)
+		}
+	}
+	return coo.ToCSR()
+}
+
+// Laplace2D returns the standard 5-point discrete Laplacian on an
+// nx×ny interior grid (Dirichlet), a symmetric positive definite matrix of
+// order nx*ny.
+func Laplace2D(nx, ny int) *CSR {
+	n := nx * ny
+	coo := NewCOO(n, n)
+	idx := func(i, j int) int { return j*nx + i }
+	for j := 0; j < ny; j++ {
+		for i := 0; i < nx; i++ {
+			r := idx(i, j)
+			coo.Append(r, r, 4)
+			if i > 0 {
+				coo.Append(r, idx(i-1, j), -1)
+			}
+			if i < nx-1 {
+				coo.Append(r, idx(i+1, j), -1)
+			}
+			if j > 0 {
+				coo.Append(r, idx(i, j-1), -1)
+			}
+			if j < ny-1 {
+				coo.Append(r, idx(i, j+1), -1)
+			}
+		}
+	}
+	return coo.ToCSR()
+}
+
+// RandomDiagDominant returns a random sparse n×n matrix with about
+// nnzPerRow off-diagonal entries per row, made strictly diagonally
+// dominant (hence nonsingular and friendly to both iterative and direct
+// solvers). Deterministic for a given seed.
+func RandomDiagDominant(n, nnzPerRow int, seed int64) *CSR {
+	rng := rand.New(rand.NewSource(seed))
+	coo := NewCOO(n, n)
+	for i := 0; i < n; i++ {
+		rowAbs := 0.0
+		for k := 0; k < nnzPerRow; k++ {
+			j := rng.Intn(n)
+			if j == i {
+				continue
+			}
+			v := rng.Float64()*2 - 1
+			coo.Append(i, j, v)
+			rowAbs += math.Abs(v)
+		}
+		coo.Append(i, i, rowAbs+1+rng.Float64())
+	}
+	return coo.ToCSR()
+}
+
+// RandomUnsymmetric returns a random sparse matrix with entries in
+// [-1, 1), no dominance guarantee — useful for exercising pivoting in the
+// direct solver. The diagonal is always present (possibly small).
+func RandomUnsymmetric(n, nnzPerRow int, seed int64) *CSR {
+	rng := rand.New(rand.NewSource(seed))
+	coo := NewCOO(n, n)
+	for i := 0; i < n; i++ {
+		coo.Append(i, i, rng.Float64()*0.01)
+		for k := 0; k < nnzPerRow; k++ {
+			j := rng.Intn(n)
+			coo.Append(i, j, rng.Float64()*2-1)
+		}
+	}
+	return coo.ToCSR()
+}
+
+// RandomVector returns a deterministic random vector with entries in
+// [-1, 1).
+func RandomVector(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.Float64()*2 - 1
+	}
+	return x
+}

@@ -1,0 +1,133 @@
+package sparse
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// denseMul is the reference dense product.
+func denseMul(a []float64, ar, ac int, b []float64, bc int) []float64 {
+	c := make([]float64, ar*bc)
+	for i := 0; i < ar; i++ {
+		for k := 0; k < ac; k++ {
+			av := a[i*ac+k]
+			if av == 0 {
+				continue
+			}
+			for j := 0; j < bc; j++ {
+				c[i*bc+j] += av * b[k*bc+j]
+			}
+		}
+	}
+	return c
+}
+
+func TestMultiplySmall(t *testing.T) {
+	// [1 2; 0 3] * [4 0; 1 5] = [6 10; 3 15]
+	a := NewCOO(2, 2)
+	a.Append(0, 0, 1)
+	a.Append(0, 1, 2)
+	a.Append(1, 1, 3)
+	b := NewCOO(2, 2)
+	b.Append(0, 0, 4)
+	b.Append(1, 0, 1)
+	b.Append(1, 1, 5)
+	c, err := Multiply(a.ToCSR(), b.ToCSR())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]float64{{6, 10}, {3, 15}}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if c.At(i, j) != want[i][j] {
+				t.Errorf("C[%d,%d] = %v, want %v", i, j, c.At(i, j), want[i][j])
+			}
+		}
+	}
+}
+
+func TestMultiplyIdentity(t *testing.T) {
+	a := RandomDiagDominant(25, 4, 9)
+	id := Identity(25)
+	left, err := Multiply(id, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	right, err := Multiply(a, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.AlmostEqual(left, 0) || !a.AlmostEqual(right, 0) {
+		t.Error("identity product changed the matrix")
+	}
+}
+
+func TestMultiplyDimensionMismatch(t *testing.T) {
+	if _, err := Multiply(Identity(3), Identity(4)); err == nil {
+		t.Error("inner dimension mismatch accepted")
+	}
+}
+
+func TestQuickMultiplyMatchesDense(t *testing.T) {
+	f := func(seed int64) bool {
+		ar := 3 + int(seed%5+5)%5
+		ac := 2 + int(seed%4+4)%4
+		bc := 3 + int(seed%6+6)%6
+		a := randomCOO(ar, ac, ar*3, seed).ToCSR()
+		b := randomCOO(ac, bc, ac*3, seed+7).ToCSR()
+		c, err := Multiply(a, b)
+		if err != nil {
+			return false
+		}
+		want := denseMul(denseOf(a), ar, ac, denseOf(b), bc)
+		got := denseOf(c)
+		for i := range want {
+			if math.Abs(want[i]-got[i]) > 1e-12 {
+				return false
+			}
+		}
+		// Column indices sorted within each row.
+		for i := 0; i < c.Rows; i++ {
+			for k := c.RowPtr[i] + 1; k < c.RowPtr[i+1]; k++ {
+				if c.ColInd[k-1] >= c.ColInd[k] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTripleProductGalerkin(t *testing.T) {
+	// RAP of the 1D Laplacian with linear interpolation reproduces the
+	// coarse Laplacian up to scaling: the classic Galerkin identity.
+	nf, nc := 7, 3
+	a := Tridiag(nf, -1, 2, -1)
+	p := NewCOO(nf, nc)
+	for c := 0; c < nc; c++ {
+		f := 2*c + 1
+		p.Append(f, c, 1)
+		p.Append(f-1, c, 0.5)
+		p.Append(f+1, c, 0.5)
+	}
+	pc := p.ToCSR()
+	r := pc.Transpose()
+	for i := range r.Vals {
+		r.Vals[i] *= 0.5 // full weighting in 1D
+	}
+	rap, err := TripleProduct(r, a, pc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Galerkin coarse operator of the unscaled 1D Laplacian with these
+	// transfer operators is (1/4)·tridiag(-1,2,-1) — the coarse stencil
+	// carries the 2:1 grid-spacing factor.
+	want := Tridiag(nc, -0.25, 0.5, -0.25)
+	if !rap.AlmostEqual(want, 1e-14) {
+		t.Errorf("RAP mismatch:\n got %v\nwant %v", denseOf(rap), denseOf(want))
+	}
+}

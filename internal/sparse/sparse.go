@@ -1,0 +1,131 @@
+// Package sparse provides the serial sparse-matrix substrate used by every
+// solver package in this repository: the storage formats named by the LISI
+// SparseStruct enum (CSR, COO, MSR, VBR, FEM) plus CSC, conversions between
+// them, sparse kernels (matrix–vector products, triangular utilities,
+// norms), simple generators, and a plain-text exchange format.
+//
+// The formats deliberately mirror the classic SPARSKIT definitions the
+// CCA-LISI paper refers to, because the LISI SetupMatrix adapter's job is
+// precisely converting between an application's chosen format and a solver
+// package's internal one.
+package sparse
+
+import (
+	"fmt"
+	"math"
+)
+
+// Matrix is the minimal read-only interface shared by all assembled
+// formats.
+type Matrix interface {
+	// Dims returns the number of rows and columns.
+	Dims() (rows, cols int)
+	// NNZ returns the number of stored entries.
+	NNZ() int
+	// MulVec computes y = A*x. len(x) must equal cols and len(y) rows.
+	MulVec(y, x []float64)
+}
+
+// Format identifies one of the supported sparse storage schemes. The
+// values correspond to the LISI SparseStruct enum.
+type Format int
+
+// Supported formats.
+const (
+	FmtCSR Format = iota // compressed sparse row
+	FmtCOO               // coordinate (triplet)
+	FmtMSR               // modified sparse row
+	FmtVBR               // variable block row
+	FmtFEM               // finite-element (element-wise) assembly
+	FmtCSC               // compressed sparse column (extension)
+)
+
+// String returns the format's conventional name.
+func (f Format) String() string {
+	switch f {
+	case FmtCSR:
+		return "CSR"
+	case FmtCOO:
+		return "COO"
+	case FmtMSR:
+		return "MSR"
+	case FmtVBR:
+		return "VBR"
+	case FmtFEM:
+		return "FEM"
+	case FmtCSC:
+		return "CSC"
+	}
+	return fmt.Sprintf("Format(%d)", int(f))
+}
+
+// checkDims panics if a kernel is called with mis-sized vectors; this is a
+// programming error, not a data error.
+func checkDims(op string, want, got int) {
+	if want != got {
+		panic(fmt.Sprintf("sparse: %s: vector length %d, want %d", op, got, want))
+	}
+}
+
+// Dot returns the dot product of two equal-length dense vectors.
+func Dot(a, b []float64) float64 {
+	checkDims("Dot", len(a), len(b))
+	s := 0.0
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of a dense vector, guarding against
+// overflow for large entries.
+func Norm2(x []float64) float64 {
+	scale, ssq := 0.0, 1.0
+	for _, v := range x {
+		if v == 0 {
+			continue
+		}
+		a := math.Abs(v)
+		if scale < a {
+			r := scale / a
+			ssq = 1 + ssq*r*r
+			scale = a
+		} else {
+			r := a / scale
+			ssq += r * r
+		}
+	}
+	return scale * math.Sqrt(ssq)
+}
+
+// NormInf returns the max-norm of a dense vector.
+func NormInf(x []float64) float64 {
+	m := 0.0
+	for _, v := range x {
+		if a := math.Abs(v); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// Axpy computes y += alpha*x.
+func Axpy(alpha float64, x, y []float64) {
+	checkDims("Axpy", len(y), len(x))
+	for i, v := range x {
+		y[i] += alpha * v
+	}
+}
+
+// Scale multiplies every element of x by alpha.
+func Scale(alpha float64, x []float64) {
+	for i := range x {
+		x[i] *= alpha
+	}
+}
+
+// Copy copies src into dst (equal lengths required) .
+func Copy(dst, src []float64) {
+	checkDims("Copy", len(dst), len(src))
+	copy(dst, src)
+}

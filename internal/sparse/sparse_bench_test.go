@@ -1,0 +1,91 @@
+package sparse
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Kernel benchmarks for the sparse substrate. These quantify the costs
+// the LISI adapter deals in: format conversion (the setupMatrix role)
+// and matrix-vector products in every supported format.
+
+func benchOperator(n int) *CSR { return Laplace2D(n, n) }
+
+func BenchmarkSpMVFormats(b *testing.B) {
+	a := benchOperator(100) // n=10,000, nnz≈49,600
+	x := RandomVector(a.Cols, 1)
+	y := make([]float64, a.Rows)
+	msr, err := MSRFromCSR(a)
+	if err != nil {
+		b.Fatal(err)
+	}
+	vbr, err := VBRFromCSR(a, evenPartition(a.Rows, 4), evenPartition(a.Cols, 4))
+	if err != nil {
+		b.Fatal(err)
+	}
+	mats := []struct {
+		name string
+		m    Matrix
+	}{
+		{"CSR", a},
+		{"CSC", a.ToCSC()},
+		{"COO", a.ToCOO()},
+		{"MSR", msr},
+		{"VBR", vbr},
+	}
+	for _, tc := range mats {
+		b.Run(tc.name, func(b *testing.B) {
+			b.SetBytes(int64(a.NNZ() * 8))
+			for i := 0; i < b.N; i++ {
+				tc.m.MulVec(y, x)
+			}
+		})
+	}
+}
+
+func evenPartition(n, blk int) []int {
+	var p []int
+	for i := 0; i <= n; i += blk {
+		p = append(p, i)
+	}
+	if p[len(p)-1] != n {
+		p = append(p, n)
+	}
+	return p
+}
+
+func BenchmarkCOOToCSR(b *testing.B) {
+	for _, n := range []int{50, 100, 200} {
+		coo := benchOperator(n).ToCOO()
+		b.Run(fmt.Sprintf("n=%d", n*n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				coo.ToCSR()
+			}
+		})
+	}
+}
+
+func BenchmarkTranspose(b *testing.B) {
+	a := benchOperator(100)
+	for i := 0; i < b.N; i++ {
+		a.Transpose()
+	}
+}
+
+func BenchmarkMultiply(b *testing.B) {
+	a := benchOperator(60)
+	for i := 0; i < b.N; i++ {
+		if _, err := Multiply(a, a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMSRConversion(b *testing.B) {
+	a := benchOperator(100)
+	for i := 0; i < b.N; i++ {
+		if _, err := MSRFromCSR(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
