@@ -1,0 +1,44 @@
+# Development targets mirroring .github/workflows/ci.yml.
+
+GO ?= go
+
+.PHONY: all build test check race vet fmt bench benchguard baseline telemetry clean
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# check = everything CI's build-test + lint jobs run.
+check: build vet fmt test race
+
+race:
+	$(GO) test -race ./internal/comm/... ./internal/pmat/... ./internal/core/... ./internal/telemetry/... ./internal/bench/...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# bench = CI's smoke (compile & run every benchmark once) + the guard.
+bench:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+	./scripts/benchguard.sh
+
+benchguard:
+	./scripts/benchguard.sh
+
+baseline:
+	./scripts/benchguard.sh --update
+
+telemetry:
+	$(GO) run ./cmd/lisi-bench -telemetry telemetry.json -runs 3
+	@echo "reports in telemetry.json"
+
+clean:
+	rm -f telemetry.json out.json

@@ -4,9 +4,14 @@
 //	lisi-bench -experiment fig5            # Figure 5 (3 solvers, P = 1,2,4,8)
 //	lisi-bench -experiment all             # both
 //	lisi-bench -experiment table1 -quick   # reduced sizes for a fast smoke run
+//	lisi-bench -telemetry out.json         # instrumented CCA-vs-NonCCA attribution
 //
 // The -runs flag controls how many repetitions are averaged (the paper
-// used 10).
+// used 10). With -telemetry, instrumented solves run for every backend
+// on both paths and the per-phase reports (plus comm counters and
+// residual traces) are written to the given JSON file; unless
+// -experiment is also given explicitly, only the telemetry collection
+// runs.
 package main
 
 import (
@@ -16,6 +21,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/mesh"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -25,7 +31,15 @@ func main() {
 	quick := flag.Bool("quick", false, "use reduced problem sizes for a fast smoke run")
 	grid := flag.Int("grid", 0, "override Figure 5 grid size n (0 = paper's n=200, nnz=199200)")
 	stat := flag.String("stat", "median", "aggregate repeated runs with \"median\" (robust) or \"mean\" (as the paper)")
+	telemetryOut := flag.String("telemetry", "", "write instrumented per-phase solve reports to this JSON file")
 	flag.Parse()
+
+	experimentSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "experiment" {
+			experimentSet = true
+		}
+	})
 
 	switch *stat {
 	case "median":
@@ -45,6 +59,42 @@ func main() {
 	}
 
 	params := bench.DefaultParams()
+
+	if *telemetryOut != "" {
+		n := 60
+		if *grid > 0 {
+			n = *grid
+		}
+		telRuns := *runs
+		telProcs := 4
+		if *procs != 8 { // non-default: the user chose a count
+			telProcs = *procs
+		}
+		fmt.Printf("== Telemetry: instrumented CCA vs NonCCA, grid %dx%d, %d procs, best of %d run(s) ==\n",
+			n, n, telProcs, telRuns)
+		agg := telemetry.NewAggregator()
+		atts, err := bench.CollectAttribution(agg, telProcs, n, telRuns, params)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "telemetry: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(bench.FormatAttribution(atts))
+		f, err := os.Create(*telemetryOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "telemetry: %v\n", err)
+			os.Exit(1)
+		}
+		if err := agg.Emit(f); err != nil {
+			f.Close()
+			fmt.Fprintf(os.Stderr, "telemetry: %v\n", err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("telemetry reports written to %s\n", *telemetryOut)
+		if !experimentSet {
+			return
+		}
+	}
 
 	if *experiment == "table1" || *experiment == "all" {
 		nnzs := bench.PaperNNZs()

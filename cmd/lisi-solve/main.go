@@ -16,12 +16,15 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"strings"
+	"time"
 
 	"repro/internal/comm"
 	"repro/internal/core"
 	"repro/internal/pmat"
 	"repro/internal/sparse"
+	"repro/internal/telemetry"
 )
 
 // setFlags collects repeated -set key=value flags.
@@ -52,6 +55,8 @@ func main() {
 	procs := flag.Int("procs", 2, "simulated processor count")
 	params := setFlags{}
 	flag.Var(params, "set", "LISI parameter key=value (repeatable)")
+	telemetryOut := flag.String("telemetry", "", "write the instrumented solve report to this JSON file")
+	expvarAddr := flag.String("expvar", "", "serve telemetry at this address under /debug/vars until interrupted (e.g. :8080)")
 	flag.Parse()
 
 	if *matrixPath == "" {
@@ -105,6 +110,9 @@ func main() {
 	var xGlobal []float64
 	var iters int
 	var residual float64
+	var report *telemetry.SolveReport
+	instrument := *telemetryOut != "" || *expvarAddr != ""
+	start := time.Now()
 	err = world.Run(func(c *comm.Comm) {
 		l, err := pmat.EvenLayout(c, n)
 		if err != nil {
@@ -116,6 +124,13 @@ func main() {
 		comp, ok := newComponent(class)
 		if !ok {
 			log.Fatalf("no component for class %s", class)
+		}
+		var rec *telemetry.Recorder
+		if instrument && c.Rank() == 0 {
+			rec = telemetry.New()
+		}
+		if ins, ok := comp.(core.Instrumented); ok {
+			ins.SetRecorder(rec)
 		}
 		check(comp.Initialize(c))
 		check(comp.SetStartRow(l.Start))
@@ -144,10 +159,33 @@ func main() {
 			xGlobal = full
 			iters = int(status[core.StatusIterations])
 			residual = res
+			if rec != nil {
+				report = rec.Report(*solver)
+				report.Iterations = iters
+				report.FinalResidual = residual
+				report.Converged = status[core.StatusConverged] == 1
+				report.GlobalRows = n
+				report.NNZ = a.NNZ()
+				report.Procs = *procs
+				report.Path = "cca"
+			}
 		}
 	})
 	if err != nil {
 		log.Fatal(err)
+	}
+	if report != nil {
+		report.WallSeconds = time.Since(start).Seconds()
+		st := world.Stats()
+		report.Comm = &telemetry.CommStats{
+			Sends:              st.Sends,
+			Recvs:              st.Recvs,
+			BytesSent:          st.BytesSent,
+			BytesRecv:          st.BytesRecv,
+			BarrierEntries:     st.BarrierEntries,
+			BarrierWaitSeconds: st.BarrierWait.Seconds(),
+			Collectives:        st.Collectives,
+		}
 	}
 
 	fmt.Printf("solved %dx%d system (nnz=%d) with %s on %d ranks: iterations=%d residual=%.3e\n",
@@ -162,6 +200,34 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("solution written to %s\n", *outPath)
+	}
+
+	if *telemetryOut != "" && report != nil {
+		f, err := os.Create(*telemetryOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := telemetry.WriteJSON(f, report); err != nil {
+			f.Close()
+			log.Fatal(err)
+		}
+		f.Close()
+		fmt.Printf("telemetry report written to %s\n", *telemetryOut)
+	}
+
+	if *expvarAddr != "" && report != nil {
+		agg := telemetry.NewAggregator()
+		agg.Record(report)
+		telemetry.Publish("lisi", agg)
+		ln, err := telemetry.ServeExpvar(*expvarAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("telemetry served at http://%s/debug/vars (interrupt to stop)\n", ln.Addr())
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt)
+		<-sig
+		ln.Close()
 	}
 }
 

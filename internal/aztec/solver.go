@@ -9,6 +9,7 @@ import (
 	"repro/internal/comm"
 	"repro/internal/pmat"
 	"repro/internal/sparse"
+	"repro/internal/telemetry"
 )
 
 // Solver is the AztecOO-role iterative solver driver. Configure it with
@@ -25,6 +26,7 @@ type Solver struct {
 	prec  preconditioner
 	scale []float64 // row scaling (nil when disabled)
 	out   io.Writer // destination for AZOutput monitoring (default stdout)
+	rec   *telemetry.Recorder
 }
 
 // NewSolver creates a solver with default options and parameters.
@@ -41,9 +43,16 @@ func NewSolver(c *comm.Comm) *Solver {
 // os.Stdout; only rank 0 prints, as AztecOO does).
 func (s *Solver) SetOutput(w io.Writer) { s.out = w }
 
-// monitor prints the residual every options[AZOutput] iterations on
-// rank 0.
+// SetRecorder attaches a telemetry recorder: preconditioner
+// construction is timed into PhasePrecond, the iteration loop into
+// PhaseIterate, and per-iteration residuals feed the trace. Nil (the
+// default) disables instrumentation.
+func (s *Solver) SetRecorder(r *telemetry.Recorder) { s.rec = r }
+
+// monitor records the residual in the telemetry trace and prints it
+// every options[AZOutput] iterations on rank 0.
 func (s *Solver) monitor(it int, rnorm float64) {
+	s.rec.Residual(it, rnorm)
 	interval := s.options[AZOutput]
 	if interval == 0 || s.c.Rank() != 0 || it%interval != 0 {
 		return
@@ -143,13 +152,16 @@ func (s *Solver) Solve(x, b []float64) error {
 		s.scale = nil
 	}
 
+	stopPC := s.rec.StartPhase(telemetry.PhasePrecond)
 	var err error
 	s.prec, err = s.buildPreconditioner()
+	stopPC()
 	if err != nil {
 		s.status[AZWhy] = AZIllCond
 		return err
 	}
 
+	defer s.rec.StartPhase(telemetry.PhaseIterate)()
 	switch s.options[AZSolver] {
 	case AZCG:
 		err = s.cg(x, bb)

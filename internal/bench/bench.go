@@ -28,6 +28,7 @@ import (
 	"repro/internal/mesh"
 	"repro/internal/pmat"
 	"repro/internal/slu"
+	"repro/internal/telemetry"
 )
 
 // Solver identifies which solver component / native package a run uses.
@@ -142,7 +143,7 @@ func RunNonCCA(p int, solver Solver, gridN int, params map[string]string) (Measu
 	err = w.Run(func(c *comm.Comm) {
 		c.Barrier()
 		start := time.Now()
-		iters, err := nativeSolve(c, solver, problem, params)
+		iters, err := nativeSolveRec(c, solver, problem, params, nil)
 		c.Barrier()
 		if c.Rank() == 0 {
 			m.Seconds = time.Since(start).Seconds()
@@ -159,9 +160,11 @@ func RunNonCCA(p int, solver Solver, gridN int, params map[string]string) (Measu
 	return m, solveErr
 }
 
-// nativeSolve is the hand-coded application a developer would write
-// against each package directly (the paper's NonCCA baseline).
-func nativeSolve(c *comm.Comm, solver Solver, problem mesh.Problem, params map[string]string) (int, error) {
+// nativeSolveRec is the hand-coded application a developer would write
+// against each package directly (the paper's NonCCA baseline). rec (nil
+// for untimed runs) captures the same setup/precond/iterate phases the
+// CCA path records, minus the port layer that does not exist here.
+func nativeSolveRec(c *comm.Comm, solver Solver, problem mesh.Problem, params map[string]string, rec *telemetry.Recorder) (int, error) {
 	l, err := pmat.EvenLayout(c, problem.N())
 	if err != nil {
 		return 0, err
@@ -172,12 +175,16 @@ func nativeSolve(c *comm.Comm, solver Solver, problem mesh.Problem, params map[s
 	}
 	switch solver {
 	case SolverKSP:
+		stopSetup := rec.StartPhase(telemetry.PhaseSetup)
 		pm, err := pmat.NewMat(l, localA)
 		if err != nil {
+			stopSetup()
 			return 0, err
 		}
 		k := ksp.New(c)
 		k.SetOperators(ksp.NewMat(pm))
+		stopSetup()
+		k.SetRecorder(rec)
 		if err := k.SetType(ksp.TypeGMRES); err != nil {
 			return 0, err
 		}
@@ -195,21 +202,27 @@ func nativeSolve(c *comm.Comm, solver Solver, problem mesh.Problem, params map[s
 		return k.Iterations(), nil
 
 	case SolverAztec:
+		stopSetup := rec.StartPhase(telemetry.PhaseSetup)
 		mp, err := aztec.NewMapWithLocal(c, l.LocalN)
 		if err != nil {
+			stopSetup()
 			return 0, err
 		}
 		crs := aztec.NewCrsMatrix(mp)
 		for lr := 0; lr < l.LocalN; lr++ {
 			cols, vals := localA.RowView(lr)
 			if err := crs.InsertGlobalValues(l.Start+lr, cols, vals); err != nil {
+				stopSetup()
 				return 0, err
 			}
 		}
 		if err := crs.FillComplete(); err != nil {
+			stopSetup()
 			return 0, err
 		}
+		stopSetup()
 		s := aztec.NewSolver(c)
+		s.SetRecorder(rec)
 		s.SetUserMatrix(crs)
 		s.Options()[aztec.AZSolver] = aztec.AZGMRES
 		s.Options()[aztec.AZPrecond] = aztec.AZDomDecomp
@@ -221,14 +234,18 @@ func nativeSolve(c *comm.Comm, solver Solver, problem mesh.Problem, params map[s
 		return s.NumIters(), nil
 
 	case SolverSLU:
+		stopSetup := rec.StartPhase(telemetry.PhaseSetup)
 		pm, err := pmat.NewMat(l, localA)
 		if err != nil {
+			stopSetup()
 			return 0, err
 		}
 		d, err := slu.NewDistSolver(pm, slu.DefaultOptions())
+		stopSetup()
 		if err != nil {
 			return 0, err
 		}
+		d.SetRecorder(rec)
 		if _, err := d.Solve(b); err != nil {
 			return 0, err
 		}

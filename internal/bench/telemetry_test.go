@@ -1,0 +1,80 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// TestCollectAttribution runs the instrumented CCA and NonCCA paths for
+// all three backends on a small problem and checks the reports carry the
+// attribution quantities the telemetry layer exists for.
+func TestCollectAttribution(t *testing.T) {
+	agg := telemetry.NewAggregator()
+	atts, err := CollectAttribution(agg, 2, 10, 1, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(atts) != len(Solvers()) {
+		t.Fatalf("got %d attributions, want %d", len(atts), len(Solvers()))
+	}
+	if agg.Len() != 2*len(Solvers()) {
+		t.Fatalf("aggregator holds %d reports, want %d", agg.Len(), 2*len(Solvers()))
+	}
+	for _, a := range atts {
+		if a.CCA.Path != "cca" || a.NonCCA.Path != "noncca" {
+			t.Fatalf("%s: paths %q/%q", a.Solver, a.CCA.Path, a.NonCCA.Path)
+		}
+		if a.CCA.WallSeconds <= 0 || a.NonCCA.WallSeconds <= 0 {
+			t.Errorf("%s: non-positive wall times %g/%g", a.Solver, a.CCA.WallSeconds, a.NonCCA.WallSeconds)
+		}
+		if a.PortOverhead() <= 0 {
+			t.Errorf("%s: CCA path recorded no port overhead", a.Solver)
+		}
+		if a.NonCCA.Phases[string(telemetry.PhasePortOverhead)] != 0 {
+			t.Errorf("%s: NonCCA path recorded port overhead %g", a.Solver, a.NonCCA.Phases[string(telemetry.PhasePortOverhead)])
+		}
+		if a.CCA.Comm == nil || a.CCA.Comm.Collectives == 0 {
+			t.Errorf("%s: CCA report missing comm totals", a.Solver)
+		}
+		if a.CCA.Procs != 2 || a.CCA.GlobalRows != 100 {
+			t.Errorf("%s: problem metadata wrong: procs=%d rows=%d", a.Solver, a.CCA.Procs, a.CCA.GlobalRows)
+		}
+		if a.Dispatch() < 0 {
+			t.Errorf("%s: negative dispatch time", a.Solver)
+		}
+	}
+
+	// Iterative backends must carry residual traces on both paths.
+	for _, a := range atts[:2] {
+		if len(a.CCA.ResidualTrace) == 0 || len(a.NonCCA.ResidualTrace) == 0 {
+			t.Errorf("%s: missing residual trace (cca=%d, noncca=%d points)",
+				a.Solver, len(a.CCA.ResidualTrace), len(a.NonCCA.ResidualTrace))
+		}
+	}
+
+	out := FormatAttribution(atts)
+	for _, want := range []string{"cca", "noncca", "dispatch", string(SolverKSP)} {
+		if !strings.Contains(out, want) {
+			t.Errorf("attribution table missing %q:\n%s", want, out)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := agg.Emit(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Schema  string                   `json:"schema"`
+		Reports []*telemetry.SolveReport `json:"reports"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("aggregator JSON does not parse: %v", err)
+	}
+	if len(doc.Reports) != 2*len(Solvers()) {
+		t.Fatalf("JSON carries %d reports, want %d", len(doc.Reports), 2*len(Solvers()))
+	}
+}

@@ -1,0 +1,141 @@
+package comm
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// runWithDeadline fails the test if the Run region does not return
+// within the deadline — the observable symptom of an abort-path
+// regression is a deadlocked Run.
+func runWithDeadline(t *testing.T, w *World, d time.Duration, fn func(c *Comm)) error {
+	t.Helper()
+	done := make(chan error, 1)
+	go func() { done <- w.Run(fn) }()
+	select {
+	case err := <-done:
+		return err
+	case <-time.After(d):
+		t.Fatalf("Run did not return within %v: abort path deadlocked", d)
+		return nil
+	}
+}
+
+// TestAbortReleasesBarrier: a rank that panics while its peers sit in a
+// barrier must release them.
+func TestAbortReleasesBarrier(t *testing.T) {
+	w, _ := NewWorld(4)
+	err := runWithDeadline(t, w, 10*time.Second, func(c *Comm) {
+		if c.Rank() == 2 {
+			panic("rank 2 failed")
+		}
+		c.Barrier()
+		c.Barrier() // never completes; abort must raise ErrAborted here
+	})
+	if err == nil || !strings.Contains(err.Error(), "rank 2") {
+		t.Fatalf("Run error = %v, want the rank 2 panic", err)
+	}
+}
+
+// TestAbortReleasesCollective: a rank that panics mid-collective (its
+// peers already committed to the exchange slots) must release them.
+func TestAbortReleasesCollective(t *testing.T) {
+	w, _ := NewWorld(4)
+	err := runWithDeadline(t, w, 10*time.Second, func(c *Comm) {
+		if c.Rank() == 1 {
+			// Enter one collective so peers pass the first barrier, then
+			// die before the next collective they all expect.
+			c.AllReduceInt(1, OpSum)
+			panic("rank 1 failed mid-sequence")
+		}
+		c.AllReduceInt(1, OpSum)
+		c.AllReduceInt(2, OpSum) // rank 1 never arrives
+	})
+	if err == nil || !strings.Contains(err.Error(), "rank 1") {
+		t.Fatalf("Run error = %v, want the rank 1 panic", err)
+	}
+}
+
+// TestAbortReleasesRecv: a panicking rank must release a peer blocked in
+// a point-to-point receive that will never be matched.
+func TestAbortReleasesRecv(t *testing.T) {
+	w, _ := NewWorld(2)
+	err := runWithDeadline(t, w, 10*time.Second, func(c *Comm) {
+		if c.Rank() == 0 {
+			panic("rank 0 failed before sending")
+		}
+		c.RecvFloat64s(0, 7)
+	})
+	if err == nil || !strings.Contains(err.Error(), "rank 0") {
+		t.Fatalf("Run error = %v, want the rank 0 panic", err)
+	}
+}
+
+// TestAbortReleasesSplitSubWorld is the regression test for the abort
+// path across Split: ranks blocked in a *sub-communicator* barrier must
+// be released when a rank of the parent world panics. Before sub-worlds
+// were registered in the parent's abort domain this deadlocked — the
+// parent abort never reached the sub-world's barrier.
+func TestAbortReleasesSplitSubWorld(t *testing.T) {
+	w, _ := NewWorld(4)
+	err := runWithDeadline(t, w, 10*time.Second, func(c *Comm) {
+		// Ranks 0..2 form one sub-communicator; rank 3 is alone.
+		color := 0
+		if c.Rank() == 3 {
+			color = 1
+		}
+		sub := c.Split(color, 0)
+		if c.Rank() == 3 {
+			panic("rank 3 failed after split")
+		}
+		// All of ranks 0..2 enter a sub-world barrier that completes, then
+		// block in a collective needing a participant count the panicking
+		// rank can never influence — they must be released by the abort
+		// cascading from the parent world.
+		sub.Barrier()
+		for {
+			// Keep the sub-communicator busy until the abort lands.
+			sub.AllReduceInt(c.Rank(), OpSum)
+		}
+	})
+	if err == nil || !strings.Contains(err.Error(), "rank 3") {
+		t.Fatalf("Run error = %v, want the rank 3 panic", err)
+	}
+}
+
+// TestAbortReleasesNestedSplit: abort must cascade through sub-worlds of
+// sub-worlds.
+func TestAbortReleasesNestedSplit(t *testing.T) {
+	w, _ := NewWorld(4)
+	err := runWithDeadline(t, w, 10*time.Second, func(c *Comm) {
+		sub := c.Split(c.Rank()/2, 0) // two sub-worlds of two
+		subsub := sub.Split(0, 0)     // each splits again (same color)
+		if c.Rank() == 0 {
+			panic("rank 0 failed below two splits")
+		}
+		subsub.Barrier()
+		for {
+			subsub.AllReduceInt(1, OpSum)
+		}
+	})
+	if err == nil || !strings.Contains(err.Error(), "rank 0") {
+		t.Fatalf("Run error = %v, want the rank 0 panic", err)
+	}
+}
+
+// TestSplitAfterAbortPoisonsChild: a sub-world attached to an already
+// aborted parent must itself be poisoned.
+func TestSplitAfterAbortPoisonsChild(t *testing.T) {
+	parent, _ := NewWorld(1)
+	child, _ := NewWorld(1)
+	parent.Abort()
+	parent.addChild(child)
+	defer func() {
+		if p := recover(); p != ErrAborted {
+			t.Fatalf("recovered %v, want ErrAborted", p)
+		}
+	}()
+	(&Comm{w: child, rank: 0}).Barrier()
+	t.Fatal("barrier on poisoned child world did not panic")
+}

@@ -1,6 +1,9 @@
 package comm
 
-import "sync"
+import (
+	"sync"
+	"time"
+)
 
 // barrier is a reusable (cyclic) sense-reversing barrier for a fixed number
 // of participants, with abort support.
@@ -54,5 +57,9 @@ func (b *barrier) abortAll() {
 
 // Barrier blocks until every rank in the world has entered it.
 func (c *Comm) Barrier() {
+	st := &c.w.stats[c.rank]
+	st.barriers.Add(1)
+	start := time.Now()
 	c.w.bar.await()
+	st.barrierWaitNs.Add(int64(time.Since(start)))
 }

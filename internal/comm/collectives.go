@@ -73,6 +73,7 @@ func (op Op) foldInt(a, b int) int {
 // snapshots all slots, and a second barrier protects the slots from being
 // overwritten by a subsequent collective before all ranks have read them.
 func (c *Comm) exchange(x any) []any {
+	c.w.stats[c.rank].collectives.Add(1)
 	c.w.coll[c.rank] = x
 	c.Barrier()
 	out := make([]any, c.w.size)

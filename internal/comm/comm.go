@@ -33,8 +33,14 @@ type World struct {
 	mail  []*mailbox
 	bar   *barrier
 	coll  []any // per-rank exchange slots for collectives
+	stats []rankStats
 	abort chan struct{}
 	once  sync.Once
+
+	// Sub-worlds created by Split register here so an abort of this
+	// world releases ranks blocked inside sub-communicator calls too.
+	childMu  sync.Mutex
+	children []*World
 }
 
 // NewWorld creates a world with the given number of ranks. size must be
@@ -47,6 +53,7 @@ func NewWorld(size int) (*World, error) {
 		size:  size,
 		mail:  make([]*mailbox, size),
 		coll:  make([]any, size),
+		stats: make([]rankStats, size),
 		abort: make(chan struct{}),
 	}
 	for i := range w.mail {
@@ -60,8 +67,10 @@ func NewWorld(size int) (*World, error) {
 func (w *World) Size() int { return w.size }
 
 // Abort poisons the world: every blocked or future communication call
-// panics with ErrAborted. Run recovers those panics. Abort is safe to call
-// multiple times and from any goroutine.
+// panics with ErrAborted — in this world and, recursively, in every
+// sub-world Split derived from it, so no rank stays blocked in a
+// sub-communicator barrier or collective slot. Run recovers those
+// panics. Abort is safe to call multiple times and from any goroutine.
 func (w *World) Abort() {
 	w.once.Do(func() {
 		close(w.abort)
@@ -69,7 +78,36 @@ func (w *World) Abort() {
 			m.abortAll()
 		}
 		w.bar.abortAll()
+		w.childMu.Lock()
+		children := append([]*World(nil), w.children...)
+		w.childMu.Unlock()
+		for _, child := range children {
+			child.Abort()
+		}
 	})
+}
+
+// aborted reports whether Abort has run (or begun).
+func (w *World) aborted() bool {
+	select {
+	case <-w.abort:
+		return true
+	default:
+		return false
+	}
+}
+
+// addChild links a Split-derived sub-world into this world's abort
+// domain. When the parent is already aborted the child is poisoned
+// immediately, closing the race between Split and a concurrent Abort.
+func (w *World) addChild(child *World) {
+	w.childMu.Lock()
+	w.children = append(w.children, child)
+	aborted := w.aborted()
+	w.childMu.Unlock()
+	if aborted {
+		child.Abort()
+	}
 }
 
 // ErrAborted is the panic value raised in ranks blocked on communication

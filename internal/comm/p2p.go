@@ -64,6 +64,9 @@ func (m *mailbox) abortAll() {
 // copy; the typed wrappers below take care of copying.
 func (c *Comm) send(dest, tag int, data any) {
 	c.checkPeer(dest)
+	st := &c.w.stats[c.rank]
+	st.sends.Add(1)
+	st.bytesSent.Add(payloadBytes(data))
 	c.w.mail[dest].put(message{src: c.rank, tag: tag, data: data})
 }
 
@@ -74,6 +77,9 @@ func (c *Comm) recv(src, tag int) (any, int) {
 		c.checkPeer(src)
 	}
 	msg := c.w.mail[c.rank].take(src, tag)
+	st := &c.w.stats[c.rank]
+	st.recvs.Add(1)
+	st.bytesRecv.Add(payloadBytes(msg.data))
 	return msg.data, msg.src
 }
 

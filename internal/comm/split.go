@@ -10,10 +10,11 @@ const tagSplit = 0x5350
 // same sub-communicator, with sub-ranks ordered by (key, parent rank).
 // Collective over the parent communicator.
 //
-// The returned communicator supports the full operation set. Its abort
-// domain is independent of the parent's: a Run-level panic aborts the
-// parent world, so code holding sub-communicators should not continue
-// using them after any rank fails.
+// The returned communicator supports the full operation set. The
+// sub-world is registered in the parent's abort domain: a Run-level
+// panic aborts the parent world and, transitively, every sub-world, so
+// ranks blocked inside sub-communicator barriers or collectives are
+// released instead of deadlocking the Run region.
 func (c *Comm) Split(color, key int) *Comm {
 	// Publish (color, key) pairs.
 	all := c.AllGatherInts([]int{color, key})
@@ -44,6 +45,7 @@ func (c *Comm) Split(color, key int) *Comm {
 		if err != nil {
 			panic(err) // group size is ≥ 1 by construction
 		}
+		c.w.addChild(sw)
 		for i := 1; i < len(group); i++ {
 			c.send(group[i].rank, tagSplit, sw)
 		}

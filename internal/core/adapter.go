@@ -9,7 +9,16 @@ import (
 	"repro/internal/comm"
 	"repro/internal/pmat"
 	"repro/internal/sparse"
+	"repro/internal/telemetry"
 )
+
+// Instrumented is implemented by components (and the driver) that
+// accept a telemetry recorder. Call sites discover it by type
+// assertion so the SIDL-transcribed SparseSolver interface stays
+// exactly the paper's.
+type Instrumented interface {
+	SetRecorder(*telemetry.Recorder)
+}
 
 // baseAdapter carries the state machine every LISI solver component
 // shares: the distribution parameters set through the §6.3 setters, the
@@ -37,7 +46,16 @@ type baseAdapter struct {
 	mf     MatrixFree
 
 	factorizations int // cumulative setup count reported in Status
+
+	rec *telemetry.Recorder
 }
+
+// SetRecorder attaches a telemetry recorder to the component: adapter
+// conversion work (SetupMatrix*, SetupRHS staging) is timed into
+// PhasePortOverhead, operator construction into PhaseSetup, and the
+// backend's own phases/residuals flow through the same recorder. Nil
+// (the default) disables instrumentation at one nil check per event.
+func (b *baseAdapter) SetRecorder(r *telemetry.Recorder) { b.rec = r }
 
 func newBaseAdapter(name string) baseAdapter {
 	return baseAdapter{
@@ -161,6 +179,8 @@ func (b *baseAdapter) SetupMatrix(values []float64, rows, cols []int, ds SparseS
 // convert the input data format to the libraries' internal data
 // structure").
 func (b *baseAdapter) SetupMatrixOffset(values []float64, rows, cols []int, ds SparseStruct, rowsLength, nnz, offset int) int {
+	defer b.rec.StartPhase(telemetry.PhasePortOverhead)()
+	b.rec.Add("lisi.setup_matrix_calls", 1)
 	if b.c == nil {
 		return ErrBadState
 	}
@@ -258,6 +278,8 @@ func (b *baseAdapter) SetupMatrixOffset(values []float64, rows, cols []int, ds S
 // the full VBR array set for this rank's block rows. Row-partition
 // indices are local (starting at 0); column-partition indices are global.
 func (b *baseAdapter) SetupMatrixVBR(rpntr, cpntr, bpntr, bind, indx []int, values []float64) int {
+	defer b.rec.StartPhase(telemetry.PhasePortOverhead)()
+	b.rec.Add("lisi.setup_matrix_calls", 1)
 	if b.c == nil || !b.distributionReady() {
 		return ErrBadState
 	}
@@ -281,6 +303,8 @@ func (b *baseAdapter) SetupMatrixVBR(rpntr, cpntr, bpntr, bind, indx []int, valu
 // block; off-rank rows raise ErrBadArg (conformal assembly is the
 // application's responsibility, as with setupMatrix).
 func (b *baseAdapter) SetupMatrixFEM(nodesPerElem int, nodes []int, elemMats []float64) int {
+	defer b.rec.StartPhase(telemetry.PhasePortOverhead)()
+	b.rec.Add("lisi.setup_matrix_calls", 1)
 	if b.c == nil || !b.distributionReady() {
 		return ErrBadState
 	}
@@ -321,6 +345,8 @@ func (b *baseAdapter) SetupMatrixFEM(nodesPerElem int, nodes []int, elemMats []f
 
 // SetupRHS implements SparseSolver (§5.2c).
 func (b *baseAdapter) SetupRHS(rightHandSide []float64, numLocalRow, nRhs int) int {
+	defer b.rec.StartPhase(telemetry.PhasePortOverhead)()
+	b.rec.Add("lisi.setup_rhs_calls", 1)
 	if b.c == nil || !b.distributionReady() {
 		return ErrBadState
 	}
@@ -387,6 +413,7 @@ func (b *baseAdapter) buildLayout() (*pmat.Layout, error) {
 
 // solvePrep validates Solve arguments common to all components.
 func (b *baseAdapter) solvePrep(solution, status []float64, numLocalRow int) int {
+	b.rec.Add("lisi.solve_calls", 1)
 	if b.c == nil || !b.distributionReady() {
 		return ErrBadState
 	}

@@ -6,6 +6,7 @@ import (
 	"repro/internal/aztec"
 	"repro/internal/cca"
 	"repro/internal/pmat"
+	"repro/internal/telemetry"
 )
 
 // AztecComponent is the LISI solver component backed by the
@@ -202,23 +203,28 @@ func (ac *AztecComponent) Solve(solution []float64, status []float64, numLocalRo
 		s.SetUserOperator(&lisiOperator{m: m, mf: mf})
 	} else {
 		if ac.crs == nil || ac.builtVer != ac.matVer {
+			stopSetup := ac.rec.StartPhase(telemetry.PhaseSetup)
 			m := aztecMapFromLayout(l)
 			crs := aztec.NewCrsMatrix(m)
 			for li := 0; li < ac.localRows; li++ {
 				cols, vals := ac.localA.RowView(li)
 				if err := crs.InsertGlobalValues(ac.startRow+li, cols, vals); err != nil {
+					stopSetup()
 					return ErrBadArg
 				}
 			}
 			if err := crs.FillComplete(); err != nil {
+				stopSetup()
 				return ErrBadArg
 			}
 			ac.crs = crs
 			ac.builtVer = ac.matVer
 			ac.factorizations++
+			stopSetup()
 		}
 		s.SetUserMatrix(ac.crs)
 	}
+	s.SetRecorder(ac.rec)
 
 	totalIts := 0
 	lastNorm := 0.0

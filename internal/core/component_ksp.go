@@ -6,6 +6,7 @@ import (
 	"repro/internal/cca"
 	"repro/internal/ksp"
 	"repro/internal/pmat"
+	"repro/internal/telemetry"
 )
 
 // KSPComponent is the LISI solver component backed by the PETSc-role ksp
@@ -197,6 +198,7 @@ func (kc *KSPComponent) Solve(solution []float64, status []float64, numLocalRow,
 	// (Re)build the operator only when the staged matrix changed —
 	// use case §5.2b/c reuse.
 	if kc.op == nil || kc.builtVer != kc.matVer || kc.op.Layout() == nil {
+		stopSetup := kc.rec.StartPhase(telemetry.PhaseSetup)
 		if kc.mf != nil {
 			mf := kc.mf
 			kc.op = ksp.NewShellMat(l, func(y, x []float64) {
@@ -207,12 +209,14 @@ func (kc *KSPComponent) Solve(solution []float64, status []float64, numLocalRow,
 		} else {
 			pm, err := pmat.NewMat(l, kc.localA)
 			if err != nil {
+				stopSetup()
 				return ErrBadArg
 			}
 			kc.op = ksp.NewMat(pm)
 		}
 		kc.builtVer = kc.matVer
 		kc.factorizations++
+		stopSetup()
 	}
 
 	k, err := kc.configure()
@@ -220,6 +224,7 @@ func (kc *KSPComponent) Solve(solution []float64, status []float64, numLocalRow,
 		return ErrBadArg
 	}
 	k.SetOperators(kc.op)
+	k.SetRecorder(kc.rec)
 
 	totalIts := 0
 	lastNorm := 0.0

@@ -8,6 +8,7 @@ import (
 	"repro/internal/mg"
 	"repro/internal/pmat"
 	"repro/internal/sparse"
+	"repro/internal/telemetry"
 )
 
 // MGComponent is the multilevel LISI solver component (the paper's §5.2e
@@ -172,6 +173,7 @@ func (mc *MGComponent) Solve(solution []float64, status []float64, numLocalRow, 
 	}
 
 	if mc.solver == nil || mc.builtVer != mc.matVer {
+		stopSetup := mc.rec.StartPhase(telemetry.PhaseSetup)
 		p := mesh.PaperProblem(n)
 		if v, ok := mc.params["convection"]; ok {
 			p.Convection, _ = strconv.ParseFloat(v, 64)
@@ -180,9 +182,11 @@ func (mc *MGComponent) Solve(solution []float64, status []float64, numLocalRow, 
 		// staged matrix actually is the discretized PDE.
 		want, _, err := p.GenerateLocal(l)
 		if err != nil {
+			stopSetup()
 			return ErrBadArg
 		}
 		if !want.AlmostEqual(mc.localA, 1e-9*want.NormInf()) {
+			stopSetup()
 			return ErrUnsupported
 		}
 		opts := mg.Options{Coarse: mc.coarseSolve}
@@ -208,6 +212,7 @@ func (mc *MGComponent) Solve(solution []float64, status []float64, numLocalRow, 
 		mc.coarse = NewSLUComponent()
 		mc.coarseUp = false
 		s, err := mg.New(mc.c, p, opts)
+		stopSetup()
 		if err != nil {
 			return ErrBadArg
 		}
@@ -215,6 +220,7 @@ func (mc *MGComponent) Solve(solution []float64, status []float64, numLocalRow, 
 		mc.builtVer = mc.matVer
 		mc.factorizations++
 	}
+	mc.solver.SetRecorder(mc.rec)
 
 	totalCycles := 0
 	lastNorm := 0.0

@@ -6,6 +6,7 @@ import (
 	"repro/internal/cca"
 	"repro/internal/pmat"
 	"repro/internal/slu"
+	"repro/internal/telemetry"
 )
 
 // SLUComponent is the LISI solver component backed by the SuperLU-role
@@ -136,11 +137,14 @@ func (sc *SLUComponent) Solve(solution []float64, status []float64, numLocalRow,
 	}
 
 	if sc.dist == nil || sc.builtVer != sc.matVer {
+		stopSetup := sc.rec.StartPhase(telemetry.PhaseSetup)
 		pm, err := pmat.NewMat(l, sc.localA)
 		if err != nil {
+			stopSetup()
 			return ErrBadArg
 		}
 		d, err := slu.NewDistSolver(pm, sc.options())
+		stopSetup()
 		if err != nil {
 			writeStatus(status, statusLength, 0, 0, false, sc.factorizations)
 			return ErrSolveFailed
@@ -149,6 +153,7 @@ func (sc *SLUComponent) Solve(solution []float64, status []float64, numLocalRow,
 		sc.builtVer = sc.matVer
 		sc.factorizations++
 	}
+	sc.dist.SetRecorder(sc.rec)
 
 	refineSteps := 0
 	if v, ok := sc.params["refine_steps"]; ok {

@@ -3,10 +3,12 @@ package core
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"repro/internal/cca"
 	"repro/internal/mesh"
 	"repro/internal/pmat"
+	"repro/internal/telemetry"
 )
 
 // ClassDriver is the CCA class name of the reference application
@@ -21,12 +23,21 @@ const ClassDriver = "lisi.driver"
 // solvers are swapped (Figure 4).
 type DriverComponent struct {
 	svc cca.Services
+	rec *telemetry.Recorder
 }
 
 var _ cca.Component = (*DriverComponent)(nil)
 
 // NewDriverComponent returns the driver (CCA class ClassDriver).
 func NewDriverComponent() *DriverComponent { return &DriverComponent{} }
+
+// SetRecorder attaches a telemetry recorder. At the next SolveProblem
+// the driver hands it to the connected solver component (when that
+// component is Instrumented) and additionally records the wall time
+// spent inside pre-solve port calls as the counter "lisi.port_call_ns":
+// that window minus the component's port_overhead phase is pure
+// dispatch cost, the quantity behind the paper's Figure 5 comparison.
+func (d *DriverComponent) SetRecorder(r *telemetry.Recorder) { d.rec = r }
 
 // SetServices implements cca.Component: the driver only *uses* the
 // solver port (§6.4 — uses ports on the application side).
@@ -69,7 +80,11 @@ func (d *DriverComponent) SolveProblem(p mesh.Problem, format SparseStruct, para
 	if !ok {
 		return nil, fmt.Errorf("driver: connected port is not a SparseSolver")
 	}
+	if ins, ok := port.(Instrumented); ok {
+		ins.SetRecorder(d.rec)
+	}
 
+	portStart := time.Now()
 	if code := s.Initialize(c); code != OK {
 		return nil, Check(code)
 	}
@@ -119,6 +134,7 @@ func (d *DriverComponent) SolveProblem(p mesh.Problem, format SparseStruct, para
 			return nil, fmt.Errorf("driver: set %q=%q: %w", k, params[k], Check(code))
 		}
 	}
+	d.rec.Add("lisi.port_call_ns", int64(time.Since(portStart)))
 
 	x := make([]float64, l.LocalN)
 	status := make([]float64, StatusLen)

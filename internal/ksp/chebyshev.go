@@ -68,17 +68,26 @@ func (k *KSP) solveChebyshev(b, x []float64) error {
 	}
 }
 
-// estimateMaxEig runs a few power iterations on M⁻¹A.
+// estimateMaxEig runs a few power iterations on M⁻¹A. The start vector
+// must overlap the dominant eigenvector, which for preconditioned
+// elliptic operators is high-frequency: a constant start is nearly
+// orthogonal to it and underestimates λmax badly enough that the
+// Chebyshev interval misses real eigenvalues and the iteration
+// diverges. A hashed sign-varying fill (a function of the global index,
+// so the estimate is decomposition invariant) overlaps every mode.
 func (k *KSP) estimateMaxEig() (float64, error) {
-	n := k.a.Layout().LocalN
+	l := k.a.Layout()
+	n := l.LocalN
 	v := make([]float64, n)
 	for i := range v {
-		v[i] = 1
+		h := uint64(l.Start+i+1) * 0x9E3779B97F4A7C15
+		h ^= h >> 33
+		v[i] = float64(h%2048)/1024 - 1
 	}
 	t := make([]float64, n)
 	w := make([]float64, n)
 	lmax := 1.0
-	for it := 0; it < 12; it++ {
+	for it := 0; it < 20; it++ {
 		k.a.Apply(t, v)
 		k.pc.Apply(w, t)
 		nrm := k.norm2(w)

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/comm"
 	"repro/internal/pmat"
+	"repro/internal/telemetry"
 )
 
 // ConvergedReason explains why a solve stopped, following PETSc's
@@ -90,6 +91,8 @@ type KSP struct {
 	its    int
 	rnorm  float64
 	reason ConvergedReason
+
+	rec *telemetry.Recorder
 }
 
 // New creates a KSP with PETSc-like defaults: GMRES(30) with block-ILU
@@ -189,6 +192,12 @@ func (k *KSP) SetInitialGuessNonzero(nz bool) { k.guessNonzero = nz }
 // SetMonitor installs a per-iteration callback (nil to remove).
 func (k *KSP) SetMonitor(m Monitor) { k.monitor = m }
 
+// SetRecorder attaches a telemetry recorder: preconditioner setup is
+// timed into PhasePrecond, the Krylov loop into PhaseIterate, and every
+// iteration's residual norm lands in the residual trace. A nil recorder
+// (the default) disables instrumentation at the cost of a nil check.
+func (k *KSP) SetRecorder(r *telemetry.Recorder) { k.rec = r }
+
 // Iterations returns the iteration count of the last solve.
 func (k *KSP) Iterations() int { return k.its }
 
@@ -212,7 +221,10 @@ func (k *KSP) Solve(b, x []float64) error {
 	if k.pc == nil {
 		k.pc = &pcBlockILU{name: PCBJacobi}
 	}
-	if err := k.pc.SetUp(k.a); err != nil {
+	stopPC := k.rec.StartPhase(telemetry.PhasePrecond)
+	err := k.pc.SetUp(k.a)
+	stopPC()
+	if err != nil {
 		return err
 	}
 	if !k.guessNonzero {
@@ -223,7 +235,7 @@ func (k *KSP) Solve(b, x []float64) error {
 	k.its = 0
 	k.reason = DivergedNull
 
-	var err error
+	defer k.rec.StartPhase(telemetry.PhaseIterate)()
 	switch k.typ {
 	case TypeCG:
 		err = k.solveCG(b, x)
@@ -256,6 +268,7 @@ func (k *KSP) Solve(b, x []float64) error {
 func (k *KSP) testConvergence(it int, rnorm, rnorm0 float64) bool {
 	k.its = it
 	k.rnorm = rnorm
+	k.rec.Residual(it, rnorm)
 	if k.monitor != nil {
 		k.monitor(it, rnorm)
 	}

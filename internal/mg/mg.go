@@ -20,6 +20,7 @@ import (
 	"repro/internal/mesh"
 	"repro/internal/pmat"
 	"repro/internal/sparse"
+	"repro/internal/telemetry"
 )
 
 // CoarseSolve solves the (small, gathered) coarsest system on every rank
@@ -98,7 +99,13 @@ type Solver struct {
 	coarseA *sparse.CSR // gathered coarsest operator (every rank)
 	cycles  int
 	rnorm   float64
+	rec     *telemetry.Recorder
 }
+
+// SetRecorder attaches a telemetry recorder: the cycling loop is timed
+// into PhaseIterate, per-cycle residuals feed the trace, and V-/W-cycle
+// counts land in the "mg.cycles" counter. Nil disables instrumentation.
+func (s *Solver) SetRecorder(r *telemetry.Recorder) { s.rec = r }
 
 // New builds the hierarchy for the problem (collective). p.Nx must equal
 // p.Ny and coarsen at least once (n odd and ≥ 2·CoarsestN+1).
@@ -304,6 +311,7 @@ func (s *Solver) Solve(b, x []float64) error {
 	if bnorm == 0 {
 		bnorm = 1
 	}
+	defer s.rec.StartPhase(telemetry.PhaseIterate)()
 	for cycle := 1; cycle <= s.opts.MaxCycles; cycle++ {
 		if err := s.vcycle(0, b, x); err != nil {
 			return err
@@ -311,6 +319,8 @@ func (s *Solver) Solve(b, x []float64) error {
 		res := fine.a.Residual(b, x)
 		s.cycles = cycle
 		s.rnorm = res
+		s.rec.Add("mg.cycles", 1)
+		s.rec.Residual(cycle, res)
 		if res <= s.opts.Tol*bnorm {
 			return nil
 		}

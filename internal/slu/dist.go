@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/pmat"
 	"repro/internal/sparse"
+	"repro/internal/telemetry"
 )
 
 // DistSolver is the distributed front end standing in for SuperLU_DIST:
@@ -20,7 +21,13 @@ type DistSolver struct {
 	f      *LU         // non-nil on rank 0 only
 	global *sparse.CSR // non-nil on rank 0 only
 	nnz    int
+	rec    *telemetry.Recorder
 }
+
+// SetRecorder attaches a telemetry recorder: the root triangular solves
+// (and refinement) of later Solve calls are timed into PhaseIterate and
+// refinement steps are counted. Nil disables instrumentation.
+func (d *DistSolver) SetRecorder(r *telemetry.Recorder) { d.rec = r }
 
 // NewDistSolver gathers the distributed matrix to rank 0 and factors it
 // there (collective). Every rank receives the same success/failure
@@ -90,11 +97,13 @@ func (d *DistSolver) rootSolve(bLocal []float64, steps int) ([]float64, float64,
 	res := 0.0
 	errText := ""
 	if c.Rank() == 0 {
+		stop := d.rec.StartPhase(telemetry.PhaseIterate)
 		x, err := d.f.Solve(bGlobal)
 		if err != nil {
 			errText = err.Error()
 		} else {
 			if steps > 0 {
+				d.rec.Add("slu.refine_steps", int64(steps))
 				res, err = d.f.Refine(d.global, bGlobal, x, steps)
 				if err != nil {
 					errText = err.Error()
@@ -102,6 +111,8 @@ func (d *DistSolver) rootSolve(bLocal []float64, steps int) ([]float64, float64,
 			}
 			xGlobal = x
 		}
+		stop()
+		d.rec.Add("slu.root_solves", 1)
 	}
 	errText = c.BcastString(0, errText)
 	if errText != "" {

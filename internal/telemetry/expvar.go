@@ -1,0 +1,56 @@
+package telemetry
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+)
+
+// published guards against double expvar.Publish, which panics; tests
+// and repeated CLI invocations in one process may publish the same name
+// more than once.
+var published sync.Map // name -> *Aggregator holder
+
+type aggHolder struct {
+	mu  sync.Mutex
+	agg *Aggregator
+}
+
+// Publish exposes the aggregator's live Summary under the given expvar
+// name (conventionally "lisi.telemetry"). Publishing the same name
+// again rebinds it to the new aggregator instead of panicking, so
+// long-running hosts can rotate aggregators.
+func Publish(name string, agg *Aggregator) {
+	h, loaded := published.LoadOrStore(name, &aggHolder{agg: agg})
+	holder := h.(*aggHolder)
+	holder.mu.Lock()
+	holder.agg = agg
+	holder.mu.Unlock()
+	if loaded {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any {
+		holder.mu.Lock()
+		a := holder.agg
+		holder.mu.Unlock()
+		return a.Summarize()
+	}))
+}
+
+// ServeExpvar starts an HTTP server on addr whose /debug/vars endpoint
+// includes every published aggregator, for long-running hosts that want
+// to watch solver telemetry live. It returns the bound listener (so
+// addr may use port 0) and never blocks; close the listener to stop.
+func ServeExpvar(addr string) (net.Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: expvar listen %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	srv := &http.Server{Handler: mux}
+	go func() { _ = srv.Serve(ln) }()
+	return ln, nil
+}

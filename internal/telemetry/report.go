@@ -1,0 +1,161 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// SchemaSolveReport identifies the SolveReport JSON schema version;
+// consumers should check it before interpreting a document.
+const SchemaSolveReport = "lisi.telemetry.solve_report/v1"
+
+// CommStats is the communication-layer section of a report: totals
+// across all ranks of the world that executed the solve (the comm
+// package produces these; telemetry only carries them so it stays free
+// of intra-repo dependencies).
+type CommStats struct {
+	Sends              int64   `json:"sends"`
+	Recvs              int64   `json:"recvs"`
+	BytesSent          int64   `json:"bytes_sent"`
+	BytesRecv          int64   `json:"bytes_recv"`
+	BarrierEntries     int64   `json:"barrier_entries"`
+	BarrierWaitSeconds float64 `json:"barrier_wait_seconds"`
+	Collectives        int64   `json:"collectives"`
+}
+
+// Sub returns the element-wise difference s − o, attributing a window
+// of activity between two snapshots.
+func (s CommStats) Sub(o CommStats) CommStats {
+	return CommStats{
+		Sends:              s.Sends - o.Sends,
+		Recvs:              s.Recvs - o.Recvs,
+		BytesSent:          s.BytesSent - o.BytesSent,
+		BytesRecv:          s.BytesRecv - o.BytesRecv,
+		BarrierEntries:     s.BarrierEntries - o.BarrierEntries,
+		BarrierWaitSeconds: s.BarrierWaitSeconds - o.BarrierWaitSeconds,
+		Collectives:        s.Collectives - o.Collectives,
+	}
+}
+
+// Add returns the element-wise sum s + o.
+func (s CommStats) Add(o CommStats) CommStats {
+	return CommStats{
+		Sends:              s.Sends + o.Sends,
+		Recvs:              s.Recvs + o.Recvs,
+		BytesSent:          s.BytesSent + o.BytesSent,
+		BytesRecv:          s.BytesRecv + o.BytesRecv,
+		BarrierEntries:     s.BarrierEntries + o.BarrierEntries,
+		BarrierWaitSeconds: s.BarrierWaitSeconds + o.BarrierWaitSeconds,
+		Collectives:        s.Collectives + o.Collectives,
+	}
+}
+
+// SolveReport is the structured outcome of one solve through the LISI
+// port (or the NonCCA baseline): identification, convergence, per-phase
+// time attribution, counters, comm totals and the residual trace.
+type SolveReport struct {
+	Schema        string             `json:"schema"`
+	Solver        string             `json:"solver"`
+	Backend       string             `json:"backend,omitempty"`
+	Path          string             `json:"path,omitempty"` // "cca" or "noncca"
+	Procs         int                `json:"procs"`
+	GlobalRows    int                `json:"global_rows,omitempty"`
+	NNZ           int                `json:"nnz,omitempty"`
+	Iterations    int                `json:"iterations"`
+	FinalResidual float64            `json:"final_residual"`
+	Converged     bool               `json:"converged"`
+	WallSeconds   float64            `json:"wall_seconds"`
+	Phases        map[string]float64 `json:"phases"`
+	Counters      map[string]int64   `json:"counters,omitempty"`
+	Comm          *CommStats         `json:"comm,omitempty"`
+	ResidualTrace []ResidualPoint    `json:"residual_trace,omitempty"`
+	Labels        map[string]string  `json:"labels,omitempty"`
+}
+
+// Report assembles a SolveReport from the recorder's snapshot. The
+// caller fills identification and convergence fields the recorder does
+// not know (solver, procs, iterations, wall time, comm stats).
+func (r *Recorder) Report(solver string) *SolveReport {
+	snap := r.Snapshot()
+	rep := &SolveReport{
+		Schema: SchemaSolveReport,
+		Solver: solver,
+		Phases: make(map[string]float64, len(snap.Phases)),
+	}
+	for p, d := range snap.Phases {
+		rep.Phases[string(p)] = d.Seconds()
+	}
+	if len(snap.Counters) > 0 {
+		rep.Counters = snap.Counters
+	}
+	rep.ResidualTrace = snap.Residuals
+	if len(snap.Labels) > 0 {
+		rep.Labels = snap.Labels
+		if b, ok := snap.Labels["backend"]; ok {
+			rep.Backend = b
+		}
+	}
+	return rep
+}
+
+// PhaseSum returns the total attributed seconds across all phases.
+func (rep *SolveReport) PhaseSum() float64 {
+	total := 0.0
+	for _, s := range rep.Phases {
+		total += s
+	}
+	return total
+}
+
+// Unattributed returns wall time not covered by any phase (mesh/problem
+// generation, framework assembly, measurement scaffolding). Negative
+// values are clamped to zero: phases on different ranks may legitimately
+// overlap and sum past one rank's wall clock.
+func (rep *SolveReport) Unattributed() float64 {
+	u := rep.WallSeconds - rep.PhaseSum()
+	if u < 0 {
+		return 0
+	}
+	return u
+}
+
+// WriteJSON writes v as deterministic, indented JSON followed by a
+// newline — the on-disk format of every telemetry artifact
+// (encoding/json sorts map keys, so the output is diff-stable).
+func WriteJSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+// FormatReport renders a report as aligned human-readable text for
+// terminal display.
+func FormatReport(rep *SolveReport) string {
+	var b strings.Builder
+	path := rep.Path
+	if path == "" {
+		path = "-"
+	}
+	fmt.Fprintf(&b, "solver=%s path=%s procs=%d iterations=%d residual=%.3e converged=%v wall=%.4fs\n",
+		rep.Solver, path, rep.Procs, rep.Iterations, rep.FinalResidual, rep.Converged, rep.WallSeconds)
+	phases := make([]string, 0, len(rep.Phases))
+	for p := range rep.Phases {
+		phases = append(phases, p)
+	}
+	sort.Strings(phases)
+	for _, p := range phases {
+		fmt.Fprintf(&b, "  phase %-14s %10.6fs\n", p, rep.Phases[p])
+	}
+	if u := rep.Unattributed(); len(rep.Phases) > 0 {
+		fmt.Fprintf(&b, "  phase %-14s %10.6fs\n", "(unattributed)", u)
+	}
+	if rep.Comm != nil {
+		c := rep.Comm
+		fmt.Fprintf(&b, "  comm  sends=%d recvs=%d bytes_sent=%d bytes_recv=%d barriers=%d barrier_wait=%.4fs collectives=%d\n",
+			c.Sends, c.Recvs, c.BytesSent, c.BytesRecv, c.BarrierEntries, c.BarrierWaitSeconds, c.Collectives)
+	}
+	return b.String()
+}

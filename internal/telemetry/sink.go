@@ -1,0 +1,93 @@
+package telemetry
+
+import (
+	"io"
+	"sync"
+)
+
+// Aggregator is the in-memory sink: it collects SolveReports from many
+// solves (safe for concurrent producers) and serves them to emitters —
+// the JSON file writer and the expvar endpoint both read from one.
+type Aggregator struct {
+	mu      sync.Mutex
+	reports []*SolveReport
+}
+
+// NewAggregator returns an empty aggregator.
+func NewAggregator() *Aggregator { return &Aggregator{} }
+
+// Record appends one report. Nil aggregators and nil reports are
+// ignored, so call sites need no guards.
+func (a *Aggregator) Record(rep *SolveReport) {
+	if a == nil || rep == nil {
+		return
+	}
+	a.mu.Lock()
+	a.reports = append(a.reports, rep)
+	a.mu.Unlock()
+}
+
+// Reports returns a copy of the collected reports in arrival order.
+func (a *Aggregator) Reports() []*SolveReport {
+	if a == nil {
+		return nil
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return append([]*SolveReport(nil), a.reports...)
+}
+
+// Len returns the number of collected reports.
+func (a *Aggregator) Len() int {
+	if a == nil {
+		return 0
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.reports)
+}
+
+// Summary aggregates the collected reports: total solves, iterations,
+// wall time, per-phase seconds and comm totals — the long-running view
+// the expvar endpoint publishes.
+type Summary struct {
+	Solves      int                `json:"solves"`
+	Iterations  int                `json:"iterations"`
+	WallSeconds float64            `json:"wall_seconds"`
+	Phases      map[string]float64 `json:"phases"`
+	Comm        CommStats          `json:"comm"`
+}
+
+// Summarize folds all collected reports into a Summary.
+func (a *Aggregator) Summarize() Summary {
+	s := Summary{Phases: make(map[string]float64)}
+	for _, rep := range a.Reports() {
+		s.Solves++
+		s.Iterations += rep.Iterations
+		s.WallSeconds += rep.WallSeconds
+		for p, sec := range rep.Phases {
+			s.Phases[p] += sec
+		}
+		if rep.Comm != nil {
+			s.Comm = s.Comm.Add(*rep.Comm)
+		}
+	}
+	return s
+}
+
+// Emit writes every collected report as one JSON document (an object
+// with a "reports" array), the file format behind the -telemetry flag
+// of the CLIs.
+func (a *Aggregator) Emit(w io.Writer) error {
+	doc := struct {
+		Schema  string         `json:"schema"`
+		Reports []*SolveReport `json:"reports"`
+	}{
+		Schema:  "lisi.telemetry.report_set/v1",
+		Reports: a.Reports(),
+	}
+	if doc.Reports == nil {
+		doc.Reports = []*SolveReport{}
+	}
+	return WriteJSON(w, doc)
+}

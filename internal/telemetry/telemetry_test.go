@@ -1,0 +1,245 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestNilRecorderNoop exercises every Recorder method on a nil receiver:
+// the disabled path must be a silent no-op, never a panic.
+func TestNilRecorderNoop(t *testing.T) {
+	var r *Recorder
+	stop := r.StartPhase(PhaseSetup)
+	stop()
+	r.AddPhase(PhaseIterate, time.Second)
+	r.Add("x", 3)
+	r.Residual(1, 0.5)
+	r.SetLabel("k", "v")
+	r.Reset()
+	if got := r.Counter("x"); got != 0 {
+		t.Fatalf("nil recorder Counter = %d, want 0", got)
+	}
+	if got := r.PhaseSeconds(PhaseIterate); got != 0 {
+		t.Fatalf("nil recorder PhaseSeconds = %g, want 0", got)
+	}
+	snap := r.Snapshot()
+	if snap.Phases != nil || snap.Counters != nil || snap.Residuals != nil || snap.Labels != nil {
+		t.Fatalf("nil recorder snapshot not empty: %+v", snap)
+	}
+	rep := r.Report("s")
+	if rep.Solver != "s" || len(rep.Phases) != 0 {
+		t.Fatalf("nil recorder report unexpected: %+v", rep)
+	}
+}
+
+// TestConcurrentRecorder hammers one recorder from many goroutines; run
+// with -race this is the data-race regression test required by the
+// telemetry design (atomic counters, mutex-guarded traces).
+func TestConcurrentRecorder(t *testing.T) {
+	r := New()
+	const workers = 16
+	const perWorker = 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				r.Add("events", 1)
+				r.Add(fmt.Sprintf("worker.%d", w%4), 2)
+				r.AddPhase(PhaseIterate, time.Microsecond)
+				r.Residual(i, float64(i))
+				stop := r.StartPhase(PhaseSetup)
+				stop()
+				if i%50 == 0 {
+					_ = r.Snapshot()
+					r.SetLabel("writer", fmt.Sprint(w))
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if got := r.Counter("events"); got != workers*perWorker {
+		t.Fatalf("events counter = %d, want %d", got, workers*perWorker)
+	}
+	perGroup := int64(workers / 4 * perWorker * 2)
+	for g := 0; g < 4; g++ {
+		if got := r.Counter(fmt.Sprintf("worker.%d", g)); got != perGroup {
+			t.Fatalf("worker.%d counter = %d, want %d", g, got, perGroup)
+		}
+	}
+	if got := r.PhaseSeconds(PhaseIterate); got < (workers * perWorker * time.Microsecond).Seconds() {
+		t.Fatalf("iterate phase = %gs, want >= %gs", got, (workers * perWorker * time.Microsecond).Seconds())
+	}
+	snap := r.Snapshot()
+	if len(snap.Residuals) != workers*perWorker {
+		t.Fatalf("residual trace has %d points, want %d", len(snap.Residuals), workers*perWorker)
+	}
+}
+
+func TestTraceBound(t *testing.T) {
+	r := New()
+	for i := 0; i < maxTrace+100; i++ {
+		r.Residual(i, 1)
+	}
+	snap := r.Snapshot()
+	if len(snap.Residuals) != maxTrace {
+		t.Fatalf("trace length %d, want cap %d", len(snap.Residuals), maxTrace)
+	}
+	if got := snap.Counters["telemetry.trace_dropped"]; got != 100 {
+		t.Fatalf("trace_dropped = %d, want 100", got)
+	}
+}
+
+func TestSnapshotIsolation(t *testing.T) {
+	r := New()
+	r.Add("c", 1)
+	r.Residual(0, 2)
+	r.SetLabel("a", "b")
+	snap := r.Snapshot()
+	snap.Counters["c"] = 99
+	snap.Residuals[0].Residual = 99
+	snap.Labels["a"] = "mutated"
+	if r.Counter("c") != 1 {
+		t.Fatal("snapshot mutation leaked into counters")
+	}
+	if got := r.Snapshot(); got.Residuals[0].Residual != 2 || got.Labels["a"] != "b" {
+		t.Fatal("snapshot mutation leaked into recorder state")
+	}
+}
+
+func TestRecorderReset(t *testing.T) {
+	r := New()
+	r.Add("c", 5)
+	r.AddPhase(PhaseSetup, time.Second)
+	r.Residual(0, 1)
+	r.Reset()
+	snap := r.Snapshot()
+	if snap.Counters != nil || snap.Phases != nil || snap.Residuals != nil {
+		t.Fatalf("reset left state behind: %+v", snap)
+	}
+}
+
+func TestAggregator(t *testing.T) {
+	agg := NewAggregator()
+	var nilAgg *Aggregator
+	nilAgg.Record(&SolveReport{}) // must not panic
+	agg.Record(nil)               // ignored
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			agg.Record(&SolveReport{
+				Solver:      "s",
+				Iterations:  i,
+				WallSeconds: 1,
+				Phases:      map[string]float64{"iterate": 0.5},
+				Comm:        &CommStats{Sends: 2, BytesSent: 16},
+			})
+		}(i)
+	}
+	wg.Wait()
+	if agg.Len() != 8 {
+		t.Fatalf("aggregator has %d reports, want 8", agg.Len())
+	}
+	sum := agg.Summarize()
+	if sum.Solves != 8 || sum.WallSeconds != 8 || sum.Phases["iterate"] != 4 {
+		t.Fatalf("summary wrong: %+v", sum)
+	}
+	if sum.Comm.Sends != 16 || sum.Comm.BytesSent != 128 {
+		t.Fatalf("summary comm wrong: %+v", sum.Comm)
+	}
+
+	var buf bytes.Buffer
+	if err := agg.Emit(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Schema  string         `json:"schema"`
+		Reports []*SolveReport `json:"reports"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("aggregator output is not valid JSON: %v", err)
+	}
+	if doc.Schema != "lisi.telemetry.report_set/v1" || len(doc.Reports) != 8 {
+		t.Fatalf("aggregator document wrong: schema=%q n=%d", doc.Schema, len(doc.Reports))
+	}
+}
+
+func TestCommStatsArithmetic(t *testing.T) {
+	a := CommStats{Sends: 5, Recvs: 4, BytesSent: 100, BarrierEntries: 7, BarrierWaitSeconds: 2, Collectives: 3}
+	b := CommStats{Sends: 2, Recvs: 1, BytesSent: 40, BarrierEntries: 3, BarrierWaitSeconds: 0.5, Collectives: 1}
+	d := a.Sub(b)
+	if d.Sends != 3 || d.BytesSent != 60 || d.BarrierWaitSeconds != 1.5 {
+		t.Fatalf("Sub wrong: %+v", d)
+	}
+	if got := b.Add(d); got != a {
+		t.Fatalf("Add(Sub) not identity: %+v != %+v", got, a)
+	}
+}
+
+func TestFormatReport(t *testing.T) {
+	rep := &SolveReport{
+		Solver: "petsc-role(ksp)", Path: "cca", Procs: 4, Iterations: 12,
+		FinalResidual: 1.5e-7, Converged: true, WallSeconds: 0.25,
+		Phases: map[string]float64{"setup": 0.1, "iterate": 0.05},
+		Comm:   &CommStats{Sends: 10},
+	}
+	out := FormatReport(rep)
+	for _, want := range []string{"petsc-role(ksp)", "path=cca", "setup", "iterate", "(unattributed)", "sends=10"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("formatted report missing %q:\n%s", want, out)
+		}
+	}
+	if u := rep.Unattributed(); u < 0.0999 || u > 0.1001 {
+		t.Fatalf("unattributed = %g, want ~0.1", u)
+	}
+	if over := (&SolveReport{WallSeconds: 1, Phases: map[string]float64{"a": 2}}).Unattributed(); over != 0 {
+		t.Fatalf("over-attributed report must clamp to 0, got %g", over)
+	}
+}
+
+func TestExpvarEndpoint(t *testing.T) {
+	agg := NewAggregator()
+	agg.Record(&SolveReport{Solver: "s", Iterations: 3, WallSeconds: 1})
+	Publish("lisi.telemetry.test", agg)
+	// Re-publishing must rebind, not panic.
+	agg2 := NewAggregator()
+	agg2.Record(&SolveReport{Solver: "s2", Iterations: 9, WallSeconds: 2})
+	agg2.Record(&SolveReport{Solver: "s3", Iterations: 1, WallSeconds: 3})
+	Publish("lisi.telemetry.test", agg2)
+
+	ln, err := ServeExpvar("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	resp, err := http.Get("http://" + ln.Addr().String() + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var doc map[string]json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	raw, ok := doc["lisi.telemetry.test"]
+	if !ok {
+		t.Fatalf("expvar endpoint missing lisi.telemetry.test (have %d vars)", len(doc))
+	}
+	var sum Summary
+	if err := json.Unmarshal(raw, &sum); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Solves != 2 || sum.Iterations != 10 {
+		t.Fatalf("published summary = %+v, want the rebound aggregator's 2 solves / 10 iterations", sum)
+	}
+}

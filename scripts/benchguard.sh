@@ -1,0 +1,85 @@
+#!/usr/bin/env bash
+# benchguard.sh — guard key micro-benchmarks against performance
+# regressions.
+#
+#   scripts/benchguard.sh            # compare against BENCH_BASELINE.json
+#   scripts/benchguard.sh --update   # re-measure and rewrite the baseline
+#
+# The guarded set is a handful of *stable* kernels (sparse format
+# conversion, SpMV, telemetry hot path) rather than the full end-to-end
+# solves, whose wall-clock is too noisy for CI gating. A run fails when
+# any guarded benchmark regresses more than BENCH_THRESHOLD_PCT percent
+# (default 25) over the checked-in baseline. Baselines are machine
+# dependent: refresh with --update when the reference machine changes.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BASELINE=BENCH_BASELINE.json
+THRESHOLD="${BENCH_THRESHOLD_PCT:-25}"
+BENCHTIME="${BENCH_TIME:-0.2s}"
+COUNT="${BENCH_COUNT:-3}"
+
+# Guarded benchmarks: package + regex, chosen for low run-to-run variance.
+PKGS=(
+  "./internal/sparse"
+  "./internal/telemetry"
+)
+PATTERN='^(BenchmarkCOOToCSR|BenchmarkTranspose|BenchmarkMSRConversion|BenchmarkNilRecorderAdd|BenchmarkNilRecorderStartPhase|BenchmarkRecorderAdd|BenchmarkRecorderResidual)$'
+
+OUT="$(mktemp)"
+trap 'rm -f "$OUT"' EXIT
+
+for pkg in "${PKGS[@]}"; do
+  go test -run='^$' -bench="$PATTERN" -benchtime="$BENCHTIME" -count="$COUNT" "$pkg"
+done >"$OUT"
+
+python3 - "$OUT" "$BASELINE" "$THRESHOLD" "${1:-}" <<'PY'
+import json, re, sys
+
+out_path, baseline_path, threshold, mode = sys.argv[1:5]
+threshold = float(threshold)
+
+# Collect the best (minimum) ns/op per benchmark: minima are the most
+# stable statistic for short benchmarks on shared machines.
+results = {}
+line_re = re.compile(r"^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op")
+for line in open(out_path):
+    m = line_re.match(line)
+    if m:
+        name, ns = m.group(1), float(m.group(2))
+        results[name] = min(ns, results.get(name, float("inf")))
+
+if not results:
+    sys.exit("benchguard: no benchmark results parsed")
+
+if mode == "--update":
+    with open(baseline_path, "w") as f:
+        json.dump(dict(sorted(results.items())), f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"benchguard: baseline rewritten with {len(results)} entries")
+    sys.exit(0)
+
+try:
+    baseline = json.load(open(baseline_path))
+except FileNotFoundError:
+    sys.exit(f"benchguard: {baseline_path} missing; run with --update first")
+
+failed = False
+for name, base in sorted(baseline.items()):
+    if name not in results:
+        print(f"MISSING  {name}: in baseline but not measured")
+        failed = True
+        continue
+    now = results[name]
+    delta = 100.0 * (now - base) / base
+    status = "ok"
+    if delta > threshold:
+        status = "REGRESSED"
+        failed = True
+    print(f"{status:9s} {name}: {base:.1f} -> {now:.1f} ns/op ({delta:+.1f}%)")
+for name in sorted(set(results) - set(baseline)):
+    print(f"NEW      {name}: {results[name]:.1f} ns/op (not in baseline)")
+
+sys.exit(1 if failed else 0)
+PY
