@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test check race vet fmt bench benchguard baseline telemetry clean
+.PHONY: all build test check race vet fmt lint bench benchguard baseline telemetry clean
 
 all: check
 
@@ -13,13 +13,18 @@ test:
 	$(GO) test ./...
 
 # check = everything CI's build-test + lint jobs run.
-check: build vet fmt test race
+check: build vet fmt lint test race
 
 race:
 	$(GO) test -race ./internal/comm/... ./internal/pmat/... ./internal/core/... ./internal/telemetry/... ./internal/bench/...
 
 vet:
 	$(GO) vet ./...
+
+# lint = the SPMD-aware static analysis suite (docs/ANALYSIS.md). Output is
+# deterministic (sorted by file:line:column), exit is nonzero on findings.
+lint:
+	$(GO) run ./cmd/lisi-vet ./...
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \

@@ -1,0 +1,81 @@
+// Command lisi-vet runs the repository's SPMD-aware static analysis suite
+// (internal/analysis) over the module: domain invariants generic `go vet`
+// cannot check, such as collective symmetry over ranks, blocking comm calls
+// under held mutexes, LISI port-contract violations, floating-point
+// equality in the numeric kernels and telemetry.Recorder constructions
+// bypassing the nil-safe constructor.
+//
+// Usage:
+//
+//	lisi-vet [flags] [pattern ...]
+//
+// Patterns are module-relative directories, optionally with a /...
+// wildcard (default: ./internal/... ./cmd/...). Wildcards skip testdata
+// directories and _test.go files; naming a testdata directory explicitly
+// analyzes it, which is what CI's negative control does. Diagnostics are
+// printed sorted by file:line:column and the exit status is 1 when any
+// survive `//lisi:ignore <analyzer> <reason>` suppression.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	var (
+		list        = flag.Bool("list", false, "list the analyzers and exit")
+		floatEqZero = flag.Bool("floateq-zero", false,
+			"opt in to flagging float ==/!= against the literal constant 0 (default: allowed as sentinel tests)")
+		only = flag.String("only", "", "run a single analyzer by name instead of the full suite")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.Analyzers() {
+			fmt.Printf("%-20s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	suite := analysis.Analyzers()
+	if *only != "" {
+		a := analysis.ByName(*only)
+		if a == nil {
+			fmt.Fprintf(os.Stderr, "lisi-vet: unknown analyzer %q (see -list)\n", *only)
+			os.Exit(2)
+		}
+		suite = []*analysis.Analyzer{a}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 || (len(patterns) == 1 && patterns[0] == "./...") {
+		// The module root holds no Go files; the code lives under internal/
+		// and cmd/, which is also what the issue's contract names.
+		patterns = []string{"./internal/...", "./cmd/..."}
+	}
+
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lisi-vet: %v\n", err)
+		os.Exit(2)
+	}
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lisi-vet: %v\n", err)
+		os.Exit(2)
+	}
+
+	diags := analysis.Run(suite, pkgs, analysis.Options{FloatEqZero: *floatEqZero})
+	for _, d := range diags {
+		fmt.Println(d.String())
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "lisi-vet: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "lisi-vet: ok (%d packages, %d analyzers)\n", len(pkgs), len(suite))
+}

@@ -1,0 +1,105 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// BlockingUnderLock flags blocking comm calls — collectives and
+// point-to-point Send/Recv — made while a sync.Mutex or sync.RWMutex
+// acquired in the same function is still held. A blocked collective waits
+// for every other rank; if any of those ranks needs the held lock to get
+// there (telemetry sinks and the comm runtime itself take locks on shared
+// structures), the world wedges with one rank inside the collective and the
+// rest queued on the mutex. Holding a lock across a comm call also
+// serializes the very communication the SPMD design wants overlapped.
+//
+// The tracking is a linear, source-order approximation per function body:
+// x.Lock()/x.RLock() marks x held, x.Unlock()/x.RUnlock() releases it, and
+// `defer x.Unlock()` keeps x held for the rest of the body (which is the
+// idiomatic pattern the analyzer exists to catch). Branch-sensitive
+// lock-state merging is deliberately out of scope.
+var BlockingUnderLock = &Analyzer{
+	Name: "blockingunderlock",
+	Doc: "flags blocking comm calls (collectives, Send, Recv) while a sync.Mutex/RWMutex acquired " +
+		"in the same function is held; a collective stalled behind a lock deadlocks the world",
+	Run: runBlockingUnderLock,
+}
+
+func runBlockingUnderLock(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		funcsOf(f, func(name string, body *ast.BlockStmt) {
+			held := make(map[string]bool) // mutex expr -> still locked
+			ast.Inspect(body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.FuncLit:
+					return false // analyzed as its own function
+				case *ast.DeferStmt:
+					// defer mu.Unlock() releases only at return: the mutex
+					// stays held for everything below, so do not clear it.
+					return false
+				case *ast.CallExpr:
+					sel, ok := n.Fun.(*ast.SelectorExpr)
+					if !ok {
+						return true
+					}
+					if mutexMethod(pass.Pkg.Info, sel) {
+						key := exprString(sel.X)
+						switch sel.Sel.Name {
+						case "Lock", "RLock":
+							held[key] = true
+						case "Unlock", "RUnlock":
+							delete(held, key)
+						}
+						return true
+					}
+					if name, ok := isBlockingCommCall(pass.Pkg.Info, n); ok && len(held) > 0 {
+						pass.Report(n.Pos(),
+							"blocking Comm."+name+" while holding "+anyHeld(held)+"; ranks queued on the lock "+
+								"can never join the communication and the world deadlocks",
+							"release the mutex before communicating (copy what you need under the lock, then call Comm."+name+")")
+					}
+				}
+				return true
+			})
+		})
+	}
+}
+
+// anyHeld names one held mutex deterministically (the lexically smallest).
+func anyHeld(held map[string]bool) string {
+	best := ""
+	for k := range held {
+		if best == "" || k < best {
+			best = k
+		}
+	}
+	return best
+}
+
+// mutexMethod reports whether sel is a Lock/Unlock/RLock/RUnlock selector
+// on a sync.Mutex or sync.RWMutex (directly or through a pointer).
+func mutexMethod(info *types.Info, sel *ast.SelectorExpr) bool {
+	switch sel.Sel.Name {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return false
+	}
+	tv, ok := info.Types[sel.X]
+	if !ok {
+		return false
+	}
+	t := tv.Type
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}

@@ -1,0 +1,305 @@
+package analysis
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+)
+
+// CollectiveSym flags collective comm calls that are control-dependent on
+// the caller's rank — the canonical SPMD deadlock. internal/comm implements
+// the MPI contract: a collective completes only when *every* rank of the
+// World calls it, so a Barrier/AllReduce/Bcast/... reachable by only a
+// subset of ranks hangs the whole Run region (exactly the failure mode the
+// PR 1 Split abort fix had to unwind at runtime). The analyzer reports a
+// collective when it is
+//
+//   - nested under an if/switch/for whose condition involves Rank() (or a
+//     local variable assigned from Rank()), or
+//   - placed after an earlier statement of the same block that lets only
+//     some ranks leave the function (a rank-guarded branch containing
+//     return/panic/break/continue).
+//
+// Root-only post-processing around Gather is the legitimate exception;
+// suppress those sites with `//lisi:ignore collectivesym <reason>` after
+// review. The analysis is per function body: a function that is itself only
+// invoked on one rank is out of scope (and should not contain collectives
+// at all).
+var CollectiveSym = &Analyzer{
+	Name: "collectivesym",
+	Doc: "flags comm collectives (Barrier, AllReduce, Bcast, Gather, Scatter, ExScan, Reduce, Split, ...) " +
+		"that only a rank-dependent subset of the world can reach; such calls deadlock the SPMD region",
+	Run: runCollectiveSym,
+}
+
+func runCollectiveSym(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		funcsOf(f, func(name string, body *ast.BlockStmt) {
+			w := &symWalker{pass: pass, tainted: rankTainted(pass, body)}
+			w.block(body.List, "")
+		})
+	}
+}
+
+// rankTainted collects the objects of local variables assigned (anywhere in
+// the body) from an expression containing a Rank() call, so conditions like
+// `rank == 0` with `rank := c.Rank()` are recognized as rank-dependent.
+func rankTainted(pass *Pass, body *ast.BlockStmt) map[*ast.Object]bool {
+	tainted := make(map[*ast.Object]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			if i >= len(as.Lhs) {
+				break
+			}
+			if !containsRankCall(pass, rhs) {
+				continue
+			}
+			if id, ok := as.Lhs[i].(*ast.Ident); ok && id.Obj != nil {
+				tainted[id.Obj] = true
+			}
+		}
+		return true
+	})
+	return tainted
+}
+
+func containsRankCall(pass *Pass, e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && isRankCall(pass.Pkg.Info, call) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// rankDependent reports whether a condition expression involves the rank:
+// a direct Rank() call or a use of a rank-tainted variable.
+func (w *symWalker) rankDependent(e ast.Expr) bool {
+	if e == nil {
+		return false
+	}
+	dep := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if isRankCall(w.pass.Pkg.Info, n) {
+				dep = true
+			}
+		case *ast.Ident:
+			if n.Obj != nil && w.tainted[n.Obj] {
+				dep = true
+			}
+		}
+		return !dep
+	})
+	return dep
+}
+
+type symWalker struct {
+	pass    *Pass
+	tainted map[*ast.Object]bool
+}
+
+// block walks one statement list. guard is the rendered condition making
+// the list rank-dependent ("" when every rank reaches it); once a
+// rank-guarded diverging statement is seen, the remainder of the list
+// inherits that guard.
+func (w *symWalker) block(stmts []ast.Stmt, guard string) {
+	for _, s := range stmts {
+		w.stmt(s, guard)
+		if guard == "" {
+			if g := w.divergingGuard(s); g != "" {
+				guard = g
+			}
+		}
+	}
+}
+
+// divergingGuard returns the rendered condition when s is a rank-guarded
+// branch through which some ranks leave the enclosing block (return, panic
+// or loop branch), so statements after s are executed by the other ranks
+// only.
+func (w *symWalker) divergingGuard(s ast.Stmt) string {
+	ifs, ok := s.(*ast.IfStmt)
+	if !ok || !w.rankDependent(ifs.Cond) {
+		return ""
+	}
+	if diverges(ifs.Body) {
+		return w.render(ifs.Cond)
+	}
+	if ifs.Else != nil && diverges(ifs.Else) {
+		return w.render(ifs.Cond)
+	}
+	return ""
+}
+
+// diverges reports whether the branch contains any statement that exits
+// the enclosing block early.
+func diverges(n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt, *ast.BranchStmt:
+			found = true
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// stmt dispatches one statement, propagating the controlling guard into
+// nested blocks and tightening it when a nested condition is
+// rank-dependent.
+func (w *symWalker) stmt(s ast.Stmt, guard string) {
+	switch s := s.(type) {
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, guard)
+		}
+		w.checkExpr(s.Cond, guard)
+		inner := guard
+		if w.rankDependent(s.Cond) {
+			inner = w.render(s.Cond)
+		}
+		w.block(s.Body.List, inner)
+		if s.Else != nil {
+			w.stmt(s.Else, inner)
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, guard)
+		}
+		w.checkExpr(s.Cond, guard)
+		if s.Post != nil {
+			w.stmt(s.Post, guard)
+		}
+		inner := guard
+		if w.rankDependent(s.Cond) {
+			inner = w.render(s.Cond)
+		}
+		w.block(s.Body.List, inner)
+	case *ast.RangeStmt:
+		w.checkExpr(s.X, guard)
+		inner := guard
+		if w.rankDependent(s.X) {
+			inner = w.render(s.X)
+		}
+		w.block(s.Body.List, inner)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, guard)
+		}
+		w.checkExpr(s.Tag, guard)
+		tagDep := w.rankDependent(s.Tag)
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CaseClause)
+			inner := guard
+			dep := tagDep
+			for _, e := range cc.List {
+				w.checkExpr(e, guard)
+				dep = dep || w.rankDependent(e)
+			}
+			if dep {
+				if s.Tag != nil {
+					inner = w.render(s.Tag)
+				} else if len(cc.List) > 0 {
+					inner = w.render(cc.List[0])
+				}
+			}
+			w.block(cc.Body, inner)
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			w.block(c.(*ast.CaseClause).Body, guard)
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			w.block(c.(*ast.CommClause).Body, guard)
+		}
+	case *ast.BlockStmt:
+		w.block(s.List, guard)
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt, guard)
+	case *ast.ExprStmt:
+		w.checkExpr(s.X, guard)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.checkExpr(e, guard)
+		}
+		for _, e := range s.Lhs {
+			w.checkExpr(e, guard)
+		}
+	case *ast.DeclStmt:
+		ast.Inspect(s, func(n ast.Node) bool {
+			if e, ok := n.(ast.Expr); ok {
+				w.checkExpr(e, guard)
+				return false
+			}
+			return true
+		})
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.checkExpr(e, guard)
+		}
+	case *ast.DeferStmt:
+		w.checkExpr(s.Call, guard)
+	case *ast.GoStmt:
+		w.checkExpr(s.Call, guard)
+	case *ast.SendStmt:
+		w.checkExpr(s.Chan, guard)
+		w.checkExpr(s.Value, guard)
+	case *ast.IncDecStmt:
+		w.checkExpr(s.X, guard)
+	}
+}
+
+// checkExpr reports every collective call inside e when a rank guard is in
+// effect. Function literals are skipped: their bodies are analyzed as
+// functions in their own right.
+func (w *symWalker) checkExpr(e ast.Expr, guard string) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if name, ok := isCollectiveCall(w.pass.Pkg.Info, call); ok && guard != "" {
+			w.pass.Report(call.Pos(),
+				"collective Comm."+name+" is control-dependent on the rank (guard: "+guard+"); "+
+					"ranks not taking this path never join it and the world deadlocks",
+				"restructure so every rank calls Comm."+name+", or suppress with //lisi:ignore collectivesym <reason> if all ranks provably take this path")
+		}
+		return true
+	})
+}
+
+// render pretty-prints a condition for the diagnostic message.
+func (w *symWalker) render(e ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, token.NewFileSet(), e); err != nil {
+		return exprString(e)
+	}
+	s := buf.String()
+	if len(s) > 60 {
+		s = s[:57] + "..."
+	}
+	return s
+}

@@ -1,0 +1,95 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// FloatEq flags == and != between floating-point operands in the numeric
+// kernel packages (ksp, aztec, slu, mg, sparse, pmat). After a reduction
+// across ranks or a few fused multiply-adds, two mathematically equal
+// quantities differ in the last ulp, so exact equality silently degrades
+// into "usually true on this input": convergence tests and symmetry checks
+// belong on a tolerance.
+//
+// Allowance: comparisons where one operand is the literal constant 0 are
+// accepted by default — exact-zero sentinel tests (pivot breakdown,
+// structural-zero skips) are idiomatic and well-defined in these kernels,
+// because the values compared were assigned, not computed. Pass the
+// lisi-vet flag -floateq-zero to opt in to flagging those too; individual
+// remaining sites are suppressed with //lisi:ignore floateq <reason>.
+var FloatEq = &Analyzer{
+	Name: "floateq",
+	Doc: "flags ==/!= between floating-point operands in the numeric kernels; " +
+		"comparisons against literal 0 are allowed unless -floateq-zero opts in to flagging them",
+	Run: runFloatEq,
+}
+
+// floatEqPackages are the final import-path segments of the kernel
+// packages the check applies to.
+var floatEqPackages = map[string]bool{
+	"ksp": true, "aztec": true, "slu": true, "mg": true, "sparse": true, "pmat": true,
+}
+
+func runFloatEq(pass *Pass) {
+	seg := pass.Pkg.Path
+	if i := strings.LastIndex(seg, "/"); i >= 0 {
+		seg = seg[i+1:]
+	}
+	if !floatEqPackages[seg] {
+		return
+	}
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if !isFloatOperand(info, be.X) && !isFloatOperand(info, be.Y) {
+				return true
+			}
+			zero := isZeroConst(info, be.X) || isZeroConst(info, be.Y)
+			if zero && !pass.Opts.FloatEqZero {
+				return true
+			}
+			what := exprString(be.X) + " " + be.Op.String() + " " + exprString(be.Y)
+			msg := "floating-point equality " + what + "; rounding makes exact comparison unreliable"
+			hint := "compare with a tolerance (math.Abs(a-b) <= tol), or suppress with //lisi:ignore floateq <reason> for a true sentinel test"
+			if zero {
+				msg = "floating-point comparison against literal zero " + what + " (flagged by -floateq-zero)"
+				hint = "confirm the operand is assigned, never computed, then suppress with //lisi:ignore floateq <reason>"
+			}
+			pass.Report(be.Pos(), msg, hint)
+			return true
+		})
+	}
+}
+
+// isFloatOperand reports whether e has floating-point type (including
+// named types with a float underlying type and untyped float constants).
+func isFloatOperand(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// isZeroConst reports whether e is a compile-time constant equal to
+// exactly zero.
+func isZeroConst(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	switch tv.Value.Kind() {
+	case constant.Int, constant.Float:
+		return constant.Sign(tv.Value) == 0
+	}
+	return false
+}

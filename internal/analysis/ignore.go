@@ -1,0 +1,100 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Suppression comments have the form
+//
+//	//lisi:ignore <analyzer> <reason>
+//
+// and silence that analyzer's diagnostics on the same line, or — when the
+// comment stands alone — on the next source line. The reason is mandatory:
+// an ignore that does not say why it is safe is reported as a finding of
+// its own, so the suppression inventory stays auditable. <analyzer> may be
+// a suite analyzer name or "all".
+const ignorePrefix = "lisi:ignore"
+
+// ignoreIndex records which (line, analyzer) pairs are suppressed in one
+// package, plus diagnostics for malformed ignore comments.
+type ignoreIndex struct {
+	// byLine maps file:line to the set of suppressed analyzer names.
+	byLine    map[string]map[string]bool
+	malformed []Diagnostic
+}
+
+func newIgnoreIndex(fset *token.FileSet, files []*ast.File) *ignoreIndex {
+	ix := &ignoreIndex{byLine: make(map[string]map[string]bool)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//"+ignorePrefix)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				fields := strings.Fields(text)
+				if len(fields) < 2 {
+					ix.malformed = append(ix.malformed, Diagnostic{
+						Pos:      pos,
+						Analyzer: "lisi-vet",
+						Message:  "malformed suppression: want //lisi:ignore <analyzer> <reason>",
+						Hint:     "name the analyzer and state why the finding is safe to ignore",
+					})
+					continue
+				}
+				name := fields[0]
+				if name != "all" && ByName(name) == nil {
+					ix.malformed = append(ix.malformed, Diagnostic{
+						Pos:      pos,
+						Analyzer: "lisi-vet",
+						Message:  "suppression names unknown analyzer " + name,
+						Hint:     "use one of the lisi-vet analyzer names or \"all\"",
+					})
+					continue
+				}
+				// A comment on its own line suppresses the line below it;
+				// a trailing comment suppresses its own line. Telling the
+				// cases apart needs the line's first token, which the AST
+				// does not index cheaply, so suppress both lines: ignore
+				// comments are rare and an extra suppressed line directly
+				// above a deliberate one is harmless.
+				for _, line := range []int{pos.Line, pos.Line + 1} {
+					key := lineKey(pos.Filename, line)
+					if ix.byLine[key] == nil {
+						ix.byLine[key] = make(map[string]bool)
+					}
+					ix.byLine[key][name] = true
+				}
+			}
+		}
+	}
+	return ix
+}
+
+func lineKey(file string, line int) string {
+	return file + ":" + itoa(line)
+}
+
+// itoa avoids pulling strconv into the hot path for tiny ints.
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [12]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// suppresses reports whether d is silenced by an ignore comment.
+func (ix *ignoreIndex) suppresses(d Diagnostic) bool {
+	set := ix.byLine[lineKey(d.Pos.Filename, d.Pos.Line)]
+	return set != nil && (set[d.Analyzer] || set["all"])
+}

@@ -1,0 +1,71 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// TelemetryRecorder flags constructions of telemetry.Recorder that bypass
+// the nil-safe telemetry.New constructor outside the telemetry package
+// itself. The whole instrumentation design rests on two properties:
+// recorders are passed and stored as *Recorder so a nil pointer is a valid
+// disabled recorder, and the struct (which embeds a sync.Mutex) is never
+// copied. A value-typed `var r telemetry.Recorder`, a `telemetry.Recorder{}`
+// composite literal or a `new(telemetry.Recorder)` sidesteps both — the
+// value form invites mutex-copying assignments, and ad-hoc construction
+// scatters the one idiom (`rec := telemetry.New()` / `var rec *Recorder`)
+// the codebase is built around.
+var TelemetryRecorder = &Analyzer{
+	Name: "telemetryrecorder",
+	Doc: "flags telemetry.Recorder composite literals, new(telemetry.Recorder) and value-typed " +
+		"declarations outside the telemetry package; construct recorders with telemetry.New()",
+	Run: runTelemetryRecorder,
+}
+
+func runTelemetryRecorder(pass *Pass) {
+	if strings.HasSuffix(pass.Pkg.Path, telemetryPkgSuffix) {
+		return // the implementation package may build its own values
+	}
+	info := pass.Pkg.Info
+	hint := "use telemetry.New() (or a nil *telemetry.Recorder for a disabled one)"
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CompositeLit:
+				if tv, ok := info.Types[n]; ok && isPkgType(tv.Type, telemetryPkgSuffix, "Recorder") {
+					pass.Report(n.Pos(),
+						"telemetry.Recorder composite literal bypasses the nil-safe constructor",
+						hint)
+				}
+			case *ast.CallExpr:
+				if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "new" && len(n.Args) == 1 {
+					if tv, ok := info.Types[n.Args[0]]; ok && tv.IsType() && isPkgType(tv.Type, telemetryPkgSuffix, "Recorder") {
+						pass.Report(n.Pos(),
+							"new(telemetry.Recorder) bypasses the nil-safe constructor",
+							hint)
+					}
+				}
+			case *ast.ValueSpec:
+				if n.Type == nil {
+					return true
+				}
+				if tv, ok := info.Types[n.Type]; ok && tv.IsType() && isValueRecorder(tv.Type) {
+					pass.Report(n.Type.Pos(),
+						"value-typed telemetry.Recorder declaration; the struct embeds a mutex and must not be copied",
+						hint)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isValueRecorder matches the value type telemetry.Recorder but not
+// *telemetry.Recorder (a nil pointer is the supported disabled recorder).
+func isValueRecorder(t types.Type) bool {
+	if _, ok := t.(*types.Pointer); ok {
+		return false
+	}
+	return isPkgType(t, telemetryPkgSuffix, "Recorder")
+}

@@ -1,0 +1,61 @@
+// Fixture for the blockingunderlock analyzer: blocking comm calls while a
+// mutex acquired in the same function is held must be flagged; calls after
+// release must not.
+package blockingunderlock
+
+import (
+	"sync"
+
+	"repro/internal/comm"
+)
+
+type shared struct {
+	mu  sync.Mutex
+	val float64
+}
+
+func deferredUnlock(c *comm.Comm, s *shared) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c.Barrier() // want "blocking Comm.Barrier while holding s.mu"
+}
+
+func sendUnderLock(c *comm.Comm, s *shared) {
+	s.mu.Lock()
+	c.SendFloat64s(0, 1, []float64{s.val}) // want "blocking Comm.SendFloat64s while holding"
+	s.mu.Unlock()
+}
+
+func readLockRecv(c *comm.Comm) {
+	var mu sync.RWMutex
+	mu.RLock()
+	x, _ := c.RecvFloat64s(0, 1) // want "blocking Comm.RecvFloat64s while holding"
+	_ = x
+	mu.RUnlock()
+}
+
+// copyThenCommunicate is the correct shape: snapshot under the lock,
+// release, then communicate.
+func copyThenCommunicate(c *comm.Comm, s *shared) float64 {
+	s.mu.Lock()
+	v := s.val
+	s.mu.Unlock()
+	return c.AllReduceFloat64(v, comm.OpSum)
+}
+
+// distinctMutexReleased releases the one lock it took; the other Lock
+// belongs to a different mutex object released before communicating.
+func distinctMutexReleased(c *comm.Comm, a, b *shared) {
+	a.mu.Lock()
+	a.mu.Unlock()
+	b.mu.Lock()
+	b.mu.Unlock()
+	c.Barrier()
+}
+
+func suppressed(c *comm.Comm, s *shared) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	//lisi:ignore blockingunderlock fixture: exercising the suppression path
+	c.Barrier()
+}

@@ -1,0 +1,88 @@
+// Fixture for the collectivesym analyzer: collectives that only a
+// rank-dependent subset of the world reaches must be flagged; symmetric
+// call patterns (including root-only *data* handling around a collective
+// every rank joins) must not.
+package collectivesym
+
+import "repro/internal/comm"
+
+func rankGatedBarrier(c *comm.Comm) {
+	if c.Rank() == 0 {
+		c.Barrier() // want "collective Comm.Barrier is control-dependent on the rank"
+	}
+}
+
+func taintedVariable(c *comm.Comm) float64 {
+	rank := c.Rank()
+	if rank > 0 {
+		return c.AllReduceFloat64(1, comm.OpSum) // want "collective Comm.AllReduceFloat64 is control-dependent"
+	}
+	return 0
+}
+
+func earlyReturnDivergence(c *comm.Comm) {
+	if c.Rank() != 0 {
+		return
+	}
+	c.Barrier() // want "control-dependent on the rank"
+}
+
+func rankBoundedLoop(c *comm.Comm) {
+	for i := 0; i < c.Rank(); i++ {
+		c.Barrier() // want "control-dependent on the rank"
+	}
+}
+
+func switchOnRank(c *comm.Comm) {
+	switch c.Rank() {
+	case 0:
+		c.Barrier() // want "control-dependent on the rank"
+	}
+}
+
+func rankGatedSplit(c *comm.Comm) {
+	if c.Rank() > 1 {
+		c.Split(1, 0) // want "collective Comm.Split is control-dependent"
+	}
+}
+
+// symmetricBcast is the correct SPMD shape: the rank branch only prepares
+// data; every rank joins the collective.
+func symmetricBcast(c *comm.Comm) []float64 {
+	var v []float64
+	if c.Rank() == 0 {
+		v = []float64{42}
+	}
+	return c.BcastFloat64s(0, v)
+}
+
+// sizeGated is uniform across ranks: Size() is the same everywhere, so the
+// early return does not split the world.
+func sizeGated(c *comm.Comm) {
+	if c.Size() == 1 {
+		return
+	}
+	c.Barrier()
+}
+
+// rootPostProcessing reads a Gather result on the root only — after the
+// collective, which every rank joined.
+func rootPostProcessing(c *comm.Comm, x []float64) float64 {
+	parts := c.GatherVFloat64s(0, x)
+	if c.Rank() == 0 {
+		sum := 0.0
+		for _, v := range parts {
+			sum += v
+		}
+		return sum
+	}
+	return 0
+}
+
+// suppressed documents a vetted intentional case.
+func suppressed(c *comm.Comm) {
+	if c.Rank() == 0 {
+		//lisi:ignore collectivesym fixture: exercising the suppression path
+		c.Barrier()
+	}
+}

@@ -1,0 +1,7 @@
+// Fixture for the floateq analyzer's scoping: this package path does not
+// end in a numeric kernel segment, so nothing here is flagged.
+package outofscope
+
+func exactEquality(a, b float64) bool {
+	return a == b
+}

@@ -1,0 +1,44 @@
+// Fixture for the floateq analyzer. The package's path ends in "sparse",
+// one of the numeric kernel packages the check applies to.
+package sparse
+
+type scalar float64
+
+func exactEquality(a, b float64) bool {
+	return a == b // want "floating-point equality a == b"
+}
+
+func exactInequality(a, b float32) bool {
+	return a != b // want "floating-point equality a != b"
+}
+
+func namedFloat(a, b scalar) bool {
+	return a == b // want "floating-point equality a == b"
+}
+
+// zeroSentinel is the default allowance: comparison against the literal
+// constant zero is a well-defined sentinel test.
+func zeroSentinel(v float64) bool {
+	return v == 0
+}
+
+func zeroSentinelFloatLit(v float64) bool {
+	return v != 0.0
+}
+
+func integersAreFine(i, j int) bool {
+	return i == j
+}
+
+func toleranceIsFine(a, b, tol float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= tol
+}
+
+func suppressed(a, b float64) bool {
+	//lisi:ignore floateq fixture: exercising the suppression path
+	return a == b
+}

@@ -1,0 +1,16 @@
+// Fixture for the floateq analyzer with the -floateq-zero opt-in: the
+// literal-zero allowance is revoked, so sentinel comparisons are flagged
+// too. The package path ends in "pmat" to be in kernel scope.
+package pmat
+
+func zeroSentinel(v float64) bool {
+	return v == 0 // want "floating-point comparison against literal zero"
+}
+
+func zeroFloat(v float64) bool {
+	return 0.0 != v // want "floating-point comparison against literal zero"
+}
+
+func integersStillFine(i int) bool {
+	return i == 0
+}

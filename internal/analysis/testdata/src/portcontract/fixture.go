@@ -1,0 +1,82 @@
+// Fixture for the portcontract analyzer: discarded LISI status codes,
+// discarded solver errors, and Solve calls that skip the §5.2 setup
+// sequence on a locally obtained port must be flagged.
+package portcontract
+
+import (
+	"repro/internal/comm"
+	"repro/internal/core"
+)
+
+// fake implements core.SparseSolver through embedding, as a test double.
+type fake struct{ core.SparseSolver }
+
+func newFake() core.SparseSolver { return &fake{} }
+
+func droppedStatus(s core.SparseSolver, b []float64) {
+	s.SetupRHS(b, len(b), 1) // want "LISI status code of s.SetupRHS discarded"
+}
+
+func blankStatus(s core.SparseSolver, x, st []float64) {
+	_ = s.Solve(x, st, len(x), len(st)) // want "LISI status code of s.Solve assigned to _"
+}
+
+// native mirrors the slu.DistSolver entry points.
+type native struct{}
+
+func (*native) Solve(b []float64) ([]float64, error) { return nil, nil }
+func (*native) SolveRefined(b []float64, steps int) ([]float64, float64, error) {
+	return nil, 0, nil
+}
+
+func droppedError(n *native, b []float64) {
+	n.Solve(b) // want "error from n.Solve discarded"
+}
+
+func blankError(n *native, b []float64) []float64 {
+	x, _, _ := n.SolveRefined(b, 1) // want "error from n.SolveRefined assigned to _"
+	return x
+}
+
+func undominatedSolve(c *comm.Comm, x, st []float64) {
+	s := newFake()
+	if code := s.Initialize(c); code != core.OK {
+		return
+	}
+	if code := s.Solve(x, st, len(x), len(st)); code != core.OK { // want "s.Solve without a prior SetupMatrix"
+		return
+	}
+}
+
+// dominatedSolve follows the contract: SetupMatrix*/SetupRHS before Solve.
+func dominatedSolve(x, st, vals, b []float64, rows, cols []int) {
+	s := newFake()
+	if code := s.SetupMatrixCOO(vals, rows, cols, len(vals)); code != core.OK {
+		return
+	}
+	if code := s.SetupRHS(b, len(b), 1); code != core.OK {
+		return
+	}
+	if code := s.Solve(x, st, len(x), len(st)); code != core.OK {
+		return
+	}
+}
+
+// parameterSolve is set up by the caller; parameters are out of scope for
+// the dominance check.
+func parameterSolve(s core.SparseSolver, x, st []float64) int {
+	return s.Solve(x, st, len(x), len(st))
+}
+
+// handledStatus consumes every status code; nothing to flag.
+func handledStatus(s core.SparseSolver, b []float64) error {
+	if code := s.SetupRHS(b, len(b), 1); code != core.OK {
+		return core.Check(code)
+	}
+	return nil
+}
+
+func suppressed(s core.SparseSolver, b []float64) {
+	//lisi:ignore portcontract fixture: exercising the suppression path
+	s.SetupRHS(b, len(b), 1)
+}

@@ -1,0 +1,36 @@
+// Fixture for the telemetryrecorder analyzer: Recorder constructions
+// bypassing the nil-safe telemetry.New must be flagged; the constructor
+// and the nil-pointer disabled form must not.
+package telemetryrecorder
+
+import "repro/internal/telemetry"
+
+func compositeLiteral() *telemetry.Recorder {
+	return &telemetry.Recorder{} // want "composite literal bypasses the nil-safe constructor"
+}
+
+func viaNew() *telemetry.Recorder {
+	return new(telemetry.Recorder) // want "bypasses the nil-safe constructor"
+}
+
+func valueDeclaration() int64 {
+	var r telemetry.Recorder // want "value-typed telemetry.Recorder declaration"
+	r.Add("n", 1)
+	return r.Counter("n")
+}
+
+// constructorIsFine is the supported idiom.
+func constructorIsFine() *telemetry.Recorder {
+	return telemetry.New()
+}
+
+// nilPointerIsFine: a nil *Recorder is the supported disabled recorder.
+func nilPointerIsFine() {
+	var r *telemetry.Recorder
+	r.Add("n", 1)
+}
+
+func suppressed() *telemetry.Recorder {
+	//lisi:ignore telemetryrecorder fixture: exercising the suppression path
+	return &telemetry.Recorder{}
+}

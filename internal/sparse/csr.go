@@ -268,6 +268,7 @@ func (a *CSR) Equal(b *CSR) bool {
 		}
 	}
 	for k := range a.ColInd {
+		//lisi:ignore floateq Equal is documented bit-exact (format round-trips must not alter values); AlmostEqual is the tolerance variant
 		if a.ColInd[k] != b.ColInd[k] || a.Vals[k] != b.Vals[k] {
 			return false
 		}

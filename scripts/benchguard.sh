@@ -15,7 +15,8 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-BASELINE=BENCH_BASELINE.json
+# BENCH_BASELINE overrides the baseline path (used by self-tests).
+BASELINE="${BENCH_BASELINE:-BENCH_BASELINE.json}"
 THRESHOLD="${BENCH_THRESHOLD_PCT:-25}"
 BENCHTIME="${BENCH_TIME:-0.2s}"
 COUNT="${BENCH_COUNT:-3}"
@@ -34,24 +35,48 @@ for pkg in "${PKGS[@]}"; do
   go test -run='^$' -bench="$PATTERN" -benchtime="$BENCHTIME" -count="$COUNT" "$pkg"
 done >"$OUT"
 
-python3 - "$OUT" "$BASELINE" "$THRESHOLD" "${1:-}" <<'PY'
+python3 - "$OUT" "$BASELINE" "$THRESHOLD" "${1:-}" "${PKGS[@]}" <<'PY'
 import json, re, sys
 
 out_path, baseline_path, threshold, mode = sys.argv[1:5]
+pkgs = sys.argv[5:]
 threshold = float(threshold)
 
 # Collect the best (minimum) ns/op per benchmark: minima are the most
-# stable statistic for short benchmarks on shared machines.
+# stable statistic for short benchmarks on shared machines. Track which
+# package produced each result ("pkg:" headers in `go test` output) so a
+# guarded package that silently stops producing benchmarks is an error,
+# not a pass.
 results = {}
+per_pkg = {}
+cur_pkg = None
 line_re = re.compile(r"^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op")
+pkg_re = re.compile(r"^pkg:\s+(\S+)$")
 for line in open(out_path):
+    pm = pkg_re.match(line)
+    if pm:
+        cur_pkg = pm.group(1)
+        per_pkg.setdefault(cur_pkg, 0)
+        continue
     m = line_re.match(line)
     if m:
         name, ns = m.group(1), float(m.group(2))
         results[name] = min(ns, results.get(name, float("inf")))
+        if cur_pkg is not None:
+            per_pkg[cur_pkg] += 1
 
 if not results:
-    sys.exit("benchguard: no benchmark results parsed")
+    sys.exit("benchguard: FAIL - no benchmark results parsed; did the bench "
+             "pattern stop matching anything?")
+
+for pkg in pkgs:
+    suffix = pkg.lstrip("./")
+    matched = [p for p in per_pkg if p.endswith(suffix)]
+    if not matched or all(per_pkg[p] == 0 for p in matched):
+        sys.exit(f"benchguard: FAIL - guarded package {pkg} produced no "
+                 "benchmark results; its benchmarks were renamed or removed. "
+                 "Update PKGS/PATTERN in scripts/benchguard.sh and refresh "
+                 "the baseline with --update.")
 
 if mode == "--update":
     with open(baseline_path, "w") as f:
@@ -66,9 +91,11 @@ except FileNotFoundError:
     sys.exit(f"benchguard: {baseline_path} missing; run with --update first")
 
 failed = False
+missing = []
 for name, base in sorted(baseline.items()):
     if name not in results:
         print(f"MISSING  {name}: in baseline but not measured")
+        missing.append(name)
         failed = True
         continue
     now = results[name]
@@ -80,6 +107,12 @@ for name, base in sorted(baseline.items()):
     print(f"{status:9s} {name}: {base:.1f} -> {now:.1f} ns/op ({delta:+.1f}%)")
 for name in sorted(set(results) - set(baseline)):
     print(f"NEW      {name}: {results[name]:.1f} ns/op (not in baseline)")
+
+if missing:
+    print(f"benchguard: FAIL - {len(missing)} baseline benchmark(s) never ran: "
+          + ", ".join(missing)
+          + ". A skipped benchmark must not pass the gate: restore it, or "
+          "deliberately retire it via --update.", file=sys.stderr)
 
 sys.exit(1 if failed else 0)
 PY
