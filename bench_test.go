@@ -11,6 +11,7 @@
 package repro_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -37,9 +38,9 @@ func BenchmarkFigure5(b *testing.B) {
 						var m bench.Measurement
 						var err error
 						if path == "CCA" {
-							m, err = bench.RunCCA(procs, solver, benchGrid, bench.DefaultParams())
+							m, err = bench.RunCCA(context.Background(), procs, solver, benchGrid, bench.DefaultParams())
 						} else {
-							m, err = bench.RunNonCCA(procs, solver, benchGrid, bench.DefaultParams())
+							m, err = bench.RunNonCCA(context.Background(), procs, solver, benchGrid, bench.DefaultParams())
 						}
 						if err != nil {
 							b.Fatal(err)
@@ -69,9 +70,9 @@ func BenchmarkTable1(b *testing.B) {
 					var m bench.Measurement
 					var err error
 					if path == "CCA" {
-						m, err = bench.RunCCA(8, bench.SolverKSP, n, bench.DefaultParams())
+						m, err = bench.RunCCA(context.Background(), 8, bench.SolverKSP, n, bench.DefaultParams())
 					} else {
-						m, err = bench.RunNonCCA(8, bench.SolverKSP, n, bench.DefaultParams())
+						m, err = bench.RunNonCCA(context.Background(), 8, bench.SolverKSP, n, bench.DefaultParams())
 					}
 					if err != nil {
 						b.Fatal(err)

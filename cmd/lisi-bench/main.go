@@ -5,6 +5,7 @@
 //	lisi-bench -experiment all             # both
 //	lisi-bench -experiment table1 -quick   # reduced sizes for a fast smoke run
 //	lisi-bench -telemetry out.json         # instrumented CCA-vs-NonCCA attribution
+//	lisi-bench -experiment all -timeout 2m # bound the whole campaign
 //
 // The -runs flag controls how many repetitions are averaged (the paper
 // used 10). With -telemetry, instrumented solves run for every backend
@@ -12,16 +13,31 @@
 // residual traces) are written to the given JSON file; unless
 // -experiment is also given explicitly, only the telemetry collection
 // runs.
+//
+// -timeout bounds the whole campaign; on expiry (exit status 124) or
+// SIGINT (exit status 130) every in-flight rank unblocks through the
+// comm layer's cancel propagation and the partial results collected so
+// far are printed before exiting with the distinct status.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"repro/internal/bench"
 	"repro/internal/mesh"
 	"repro/internal/telemetry"
+)
+
+// Distinct exit statuses for cancelled campaigns, following the shell
+// conventions (timeout(1) exits 124; 128+SIGINT = 130).
+const (
+	exitTimeout   = 124
+	exitInterrupt = 130
 )
 
 func main() {
@@ -31,6 +47,7 @@ func main() {
 	quick := flag.Bool("quick", false, "use reduced problem sizes for a fast smoke run")
 	grid := flag.Int("grid", 0, "override Figure 5 grid size n (0 = paper's n=200, nnz=199200)")
 	stat := flag.String("stat", "median", "aggregate repeated runs with \"median\" (robust) or \"mean\" (as the paper)")
+	timeout := flag.Duration("timeout", 0, "overall campaign deadline (0 = none); expiry exits with status 124")
 	telemetryOut := flag.String("telemetry", "", "write instrumented per-phase solve reports to this JSON file")
 	flag.Parse()
 
@@ -60,6 +77,16 @@ func main() {
 
 	params := bench.DefaultParams()
 
+	// SIGINT and -timeout both cancel the campaign context; the harness
+	// returns whatever it completed so far plus the cancellation cause.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	if *telemetryOut != "" {
 		n := 60
 		if *grid > 0 {
@@ -73,24 +100,31 @@ func main() {
 		fmt.Printf("== Telemetry: instrumented CCA vs NonCCA, grid %dx%d, %d procs, best of %d run(s) ==\n",
 			n, n, telProcs, telRuns)
 		agg := telemetry.NewAggregator()
-		atts, err := bench.CollectAttribution(agg, telProcs, n, telRuns, params)
-		if err != nil {
+		atts, err := bench.CollectAttribution(ctx, agg, telProcs, n, telRuns, params)
+		if err != nil && !cancelled(err) {
 			fmt.Fprintf(os.Stderr, "telemetry: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Println(bench.FormatAttribution(atts))
-		f, err := os.Create(*telemetryOut)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "telemetry: %v\n", err)
-			os.Exit(1)
+		if len(atts) > 0 {
+			fmt.Println(bench.FormatAttribution(atts))
 		}
-		if err := agg.Emit(f); err != nil {
+		if agg.Len() > 0 {
+			f, ferr := os.Create(*telemetryOut)
+			if ferr != nil {
+				fmt.Fprintf(os.Stderr, "telemetry: %v\n", ferr)
+				os.Exit(1)
+			}
+			if ferr := agg.Emit(f); ferr != nil {
+				f.Close()
+				fmt.Fprintf(os.Stderr, "telemetry: %v\n", ferr)
+				os.Exit(1)
+			}
 			f.Close()
-			fmt.Fprintf(os.Stderr, "telemetry: %v\n", err)
-			os.Exit(1)
+			fmt.Printf("telemetry reports written to %s\n", *telemetryOut)
 		}
-		f.Close()
-		fmt.Printf("telemetry reports written to %s\n", *telemetryOut)
+		if err != nil {
+			exitCancelled(err, len(atts))
+		}
 		if !experimentSet {
 			return
 		}
@@ -102,13 +136,16 @@ func main() {
 			nnzs = []int{12300, 49600}
 		}
 		fmt.Printf("== Table 1: PETSc-role component, %d processors, %d run(s) averaged ==\n", *procs, *runs)
-		rows, err := bench.Table1(nnzs, *procs, *runs, params)
-		if err != nil {
+		rows, err := bench.Table1(ctx, nnzs, *procs, *runs, params)
+		if err != nil && !cancelled(err) {
 			fmt.Fprintf(os.Stderr, "table1: %v\n", err)
 			os.Exit(1)
 		}
 		bench.SortRows(rows)
 		fmt.Println(bench.FormatTable1(rows))
+		if err != nil {
+			exitCancelled(err, len(rows))
+		}
 	}
 
 	if *experiment == "fig5" || *experiment == "all" {
@@ -122,12 +159,37 @@ func main() {
 		p := mesh.PaperProblem(n)
 		fmt.Printf("== Figure 5: grid %dx%d (nnz=%d), %d run(s) averaged ==\n", n, n, p.NNZ(), *runs)
 		for _, s := range bench.Solvers() {
-			pts, err := bench.Figure5(s, n, bench.PaperProcs(), *runs, params)
-			if err != nil {
+			pts, err := bench.Figure5(ctx, s, n, bench.PaperProcs(), *runs, params)
+			if err != nil && !cancelled(err) {
 				fmt.Fprintf(os.Stderr, "figure5 %s: %v\n", s, err)
 				os.Exit(1)
 			}
 			fmt.Println(bench.FormatFigure5(s, pts))
+			if err != nil {
+				exitCancelled(err, len(pts))
+			}
 		}
 	}
+}
+
+func cancelled(err error) bool {
+	return errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled)
+}
+
+// exitCancelled reports a deadline/interrupt after the partial results
+// already printed, and exits with the distinct status.
+func exitCancelled(err error, partial int) {
+	var status int
+	var reason string
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		status, reason = exitTimeout, "deadline exceeded"
+	case errors.Is(err, context.Canceled):
+		status, reason = exitInterrupt, "interrupted"
+	default:
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchmark aborted: %s (%d partial result(s) printed above)\n", reason, partial)
+	os.Exit(status)
 }

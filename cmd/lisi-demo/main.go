@@ -5,10 +5,12 @@
 //	lisi-demo -procs 4 -grid 100 -solver petsc
 //	lisi-demo -procs 8 -grid 63 -solver all     # swap through every component
 //	lisi-demo -script assembly.cca              # Ccaffeine-style script wiring
+//	lisi-demo -backends                         # print the registered backend table
 //
-// Solver names: petsc, trilinos, superlu, mg, all. A script must
-// instantiate a "driver" (class lisi.driver) and connect its "solver"
-// uses port to some solver component's SparseSolver port.
+// Solver names come from the core backend registry (`-solver` accepts
+// any registered name, or "all"). A script must instantiate a "driver"
+// (class lisi.driver) and connect its "solver" uses port to some solver
+// component's SparseSolver port.
 package main
 
 import (
@@ -25,21 +27,20 @@ import (
 	"repro/internal/mesh"
 )
 
-var classByName = map[string]string{
-	"petsc":    core.ClassKSPSolver,
-	"trilinos": core.ClassAztecSolver,
-	"superlu":  core.ClassSLUSolver,
-	"mg":       core.ClassMGSolver,
-}
-
 func main() {
 	procs := flag.Int("procs", 4, "simulated processor count")
 	grid := flag.Int("grid", 100, "grid size n (problem has n^2 unknowns)")
-	solver := flag.String("solver", "all", "petsc, trilinos, superlu, mg, or all")
+	solver := flag.String("solver", "all",
+		fmt.Sprintf("one of %s, or all", strings.Join(core.Names(), ", ")))
 	tol := flag.Float64("tol", 1e-8, "iterative tolerance")
 	script := flag.String("script", "", "assemble components from a Ccaffeine-style script instead of -solver")
+	backends := flag.Bool("backends", false, "print the registered backend table (Markdown) and exit")
 	flag.Parse()
 
+	if *backends {
+		fmt.Print(core.BackendTableMarkdown())
+		return
+	}
 	if *script != "" {
 		runScripted(*script, *procs, *grid, *tol)
 		return
@@ -47,14 +48,17 @@ func main() {
 
 	var names []string
 	if *solver == "all" {
-		names = []string{"petsc", "trilinos", "superlu"}
-		if *grid%2 == 1 {
-			names = append(names, "mg")
+		for _, n := range core.Names() {
+			if n == "mg" && *grid%2 == 0 {
+				continue // mg needs an odd model grid
+			}
+			names = append(names, n)
 		}
-	} else if _, ok := classByName[*solver]; ok {
+	} else if _, ok := core.Lookup(*solver); ok {
 		names = []string{*solver}
 	} else {
-		fmt.Fprintf(os.Stderr, "unknown solver %q\n", *solver)
+		fmt.Fprintf(os.Stderr, "unknown solver %q (registered: %s)\n",
+			*solver, strings.Join(core.Names(), ", "))
 		os.Exit(2)
 	}
 	if contains(names, "mg") && *grid%2 == 0 {
@@ -71,7 +75,8 @@ func main() {
 		fw := cca.NewFramework(c)
 		must(fw.CreateInstance("driver", core.ClassDriver))
 		for _, n := range names {
-			must(fw.CreateInstance(n, classByName[n]))
+			info, _ := core.Lookup(n)
+			must(fw.CreateInstance(n, info.Class))
 		}
 		comp, err := fw.Instance("driver")
 		must(err)

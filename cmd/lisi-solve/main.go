@@ -4,19 +4,29 @@
 //
 //	lisi-solve -matrix A.mtx -rhs b.vec -solver petsc -set tol=1e-10 -set preconditioner=ilu
 //	lisi-solve -matrix A.mtx -solver superlu -procs 4 -out x.vec
+//	lisi-solve -matrix A.mtx -solver trilinos -timeout 30s
 //
 // The matrix is Matrix-Market-style coordinate text (as written by
 // sparse.WriteCOO / cmd/meshgen); the right-hand side defaults to all
 // ones when -rhs is omitted. The global system is block-row partitioned
 // over -procs simulated ranks and pushed through the SparseSolver port.
+//
+// The solver backend is resolved by name from the core registry — any
+// registered backend works with no code change here. -timeout bounds
+// the solve; on expiry (exit status 124) or SIGINT (exit status 130)
+// every rank unblocks, the partial telemetry collected so far is
+// printed, and the process exits with the distinct status.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"os/signal"
+	"sort"
 	"strings"
 	"time"
 
@@ -25,6 +35,13 @@ import (
 	"repro/internal/pmat"
 	"repro/internal/sparse"
 	"repro/internal/telemetry"
+)
+
+// Distinct exit statuses for cancelled solves, following the shell
+// conventions (timeout(1) exits 124; 128+SIGINT = 130).
+const (
+	exitTimeout   = 124
+	exitInterrupt = 130
 )
 
 // setFlags collects repeated -set key=value flags.
@@ -41,18 +58,14 @@ func (s setFlags) Set(v string) error {
 	return nil
 }
 
-var classByName = map[string]string{
-	"petsc":    core.ClassKSPSolver,
-	"trilinos": core.ClassAztecSolver,
-	"superlu":  core.ClassSLUSolver,
-}
-
 func main() {
 	matrixPath := flag.String("matrix", "", "coefficient matrix file (coordinate text, required)")
 	rhsPath := flag.String("rhs", "", "right-hand side file (defaults to all ones)")
 	outPath := flag.String("out", "", "write the solution vector here (defaults to stdout summary only)")
-	solver := flag.String("solver", "petsc", "petsc, trilinos, or superlu")
+	solver := flag.String("solver", "petsc",
+		fmt.Sprintf("solver backend: one of %s", strings.Join(core.Names(), ", ")))
 	procs := flag.Int("procs", 2, "simulated processor count")
+	timeout := flag.Duration("timeout", 0, "per-solve deadline (0 = none); expiry exits with status 124")
 	params := setFlags{}
 	flag.Var(params, "set", "LISI parameter key=value (repeatable)")
 	telemetryOut := flag.String("telemetry", "", "write the instrumented solve report to this JSON file")
@@ -63,9 +76,9 @@ func main() {
 		fmt.Fprintln(os.Stderr, "-matrix is required")
 		os.Exit(2)
 	}
-	class, ok := classByName[*solver]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown solver %q\n", *solver)
+	if _, ok := core.Lookup(*solver); !ok {
+		fmt.Fprintf(os.Stderr, "unknown solver %q (registered: %s)\n",
+			*solver, strings.Join(core.Names(), ", "))
 		os.Exit(2)
 	}
 
@@ -107,13 +120,17 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+
+	// SIGINT cancels the session context; every blocked rank unblocks
+	// through the comm layer's cancel propagation.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	var xGlobal []float64
-	var iters int
-	var residual float64
+	var result core.SolveResult
 	var report *telemetry.SolveReport
-	instrument := *telemetryOut != "" || *expvarAddr != ""
 	start := time.Now()
-	err = world.Run(func(c *comm.Comm) {
+	runErr := world.RunContext(ctx, func(c *comm.Comm) {
 		l, err := pmat.EvenLayout(c, n)
 		if err != nil {
 			log.Fatal(err)
@@ -121,59 +138,56 @@ func main() {
 		localA := a.SubMatrix(l.Start, l.Start+l.LocalN)
 		localB := b[l.Start : l.Start+l.LocalN]
 
-		comp, ok := newComponent(class)
-		if !ok {
-			log.Fatalf("no component for class %s", class)
-		}
 		var rec *telemetry.Recorder
-		if instrument && c.Rank() == 0 {
+		if c.Rank() == 0 {
 			rec = telemetry.New()
 		}
-		if ins, ok := comp.(core.Instrumented); ok {
-			ins.SetRecorder(rec)
+		s, err := core.OpenSession(*solver, c, core.SessionOptions{
+			Recorder:     rec,
+			SolveTimeout: *timeout,
+			Params:       params,
+		})
+		if err != nil {
+			log.Fatal(err)
 		}
-		check(comp.Initialize(c))
-		check(comp.SetStartRow(l.Start))
-		check(comp.SetLocalRows(l.LocalN))
-		check(comp.SetLocalNNZ(localA.NNZ()))
-		check(comp.SetGlobalCols(n))
-		check(comp.SetupMatrix(localA.Vals, localA.RowPtr, localA.ColInd,
-			core.CSR, len(localA.RowPtr), localA.NNZ()))
-		check(comp.SetupRHS(localB, l.LocalN, 1))
-		for k, v := range params {
-			if code := comp.Set(k, v); code != core.OK {
-				log.Fatalf("set %s=%s: %v", k, v, core.Check(code))
-			}
+		defer s.Close()
+		if err := s.Setup(l, localA); err != nil {
+			log.Fatal(err)
+		}
+		if err := s.SetupRHS(localB, 1); err != nil {
+			log.Fatal(err)
 		}
 		x := make([]float64, l.LocalN)
-		status := make([]float64, core.StatusLen)
-		check(comp.Solve(x, status, l.LocalN, core.StatusLen))
+		res, err := s.Solve(c.Context(), x)
+		if c.Rank() == 0 {
+			result = res
+			report = rec.Report(*solver)
+			report.Iterations = res.Iterations
+			report.Converged = res.Converged
+			report.GlobalRows = n
+			report.NNZ = a.NNZ()
+			report.Procs = *procs
+			report.Path = "cca"
+		}
+		if res.Aborted {
+			return // world is poisoned; no residual/gather possible
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
 
 		m, err := pmat.NewMat(l, localA)
 		if err != nil {
 			log.Fatal(err)
 		}
-		res := m.Residual(localB, x)
+		res2 := m.Residual(localB, x)
 		full := pmat.Gather(l, 0, x)
 		if c.Rank() == 0 {
 			xGlobal = full
-			iters = int(status[core.StatusIterations])
-			residual = res
-			if rec != nil {
-				report = rec.Report(*solver)
-				report.Iterations = iters
-				report.FinalResidual = residual
-				report.Converged = status[core.StatusConverged] == 1
-				report.GlobalRows = n
-				report.NNZ = a.NNZ()
-				report.Procs = *procs
-				report.Path = "cca"
-			}
+			result.Residual = res2
+			report.FinalResidual = res2
 		}
 	})
-	if err != nil {
-		log.Fatal(err)
-	}
 	if report != nil {
 		report.WallSeconds = time.Since(start).Seconds()
 		st := world.Stats()
@@ -188,8 +202,12 @@ func main() {
 		}
 	}
 
+	if runErr != nil {
+		exitAborted(runErr, report, *telemetryOut)
+	}
+
 	fmt.Printf("solved %dx%d system (nnz=%d) with %s on %d ranks: iterations=%d residual=%.3e\n",
-		n, n, a.NNZ(), *solver, *procs, iters, residual)
+		n, n, a.NNZ(), *solver, *procs, result.Iterations, result.Residual)
 	if *outPath != "" {
 		f, err := os.Create(*outPath)
 		if err != nil {
@@ -203,16 +221,7 @@ func main() {
 	}
 
 	if *telemetryOut != "" && report != nil {
-		f, err := os.Create(*telemetryOut)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if err := telemetry.WriteJSON(f, report); err != nil {
-			f.Close()
-			log.Fatal(err)
-		}
-		f.Close()
-		fmt.Printf("telemetry report written to %s\n", *telemetryOut)
+		writeReport(*telemetryOut, report)
 	}
 
 	if *expvarAddr != "" && report != nil {
@@ -231,21 +240,50 @@ func main() {
 	}
 }
 
-// newComponent instantiates a LISI component outside a framework.
-func newComponent(class string) (core.SparseSolver, bool) {
-	switch class {
-	case core.ClassKSPSolver:
-		return core.NewKSPComponent(), true
-	case core.ClassAztecSolver:
-		return core.NewAztecComponent(), true
-	case core.ClassSLUSolver:
-		return core.NewSLUComponent(), true
+// exitAborted reports a cancelled or failed Run region: cancellation
+// prints the partial telemetry and exits with the distinct status for a
+// deadline (124) or an interrupt (130); any other error is fatal.
+func exitAborted(runErr error, report *telemetry.SolveReport, telemetryOut string) {
+	var status int
+	var reason string
+	switch {
+	case errors.Is(runErr, context.DeadlineExceeded):
+		status, reason = exitTimeout, "deadline exceeded"
+	case errors.Is(runErr, context.Canceled):
+		status, reason = exitInterrupt, "interrupted"
+	default:
+		log.Fatal(runErr)
 	}
-	return nil, false
+	fmt.Fprintf(os.Stderr, "solve aborted: %s\n", reason)
+	if report != nil {
+		fmt.Fprintf(os.Stderr, "partial telemetry (%.3fs wall):\n", report.WallSeconds)
+		keys := make([]string, 0, len(report.Phases))
+		for p := range report.Phases {
+			keys = append(keys, p)
+		}
+		sort.Strings(keys)
+		for _, p := range keys {
+			fmt.Fprintf(os.Stderr, "  phase %-14s %.4fs\n", p, report.Phases[p])
+		}
+		for k, v := range report.Labels {
+			fmt.Fprintf(os.Stderr, "  label %s=%s\n", k, v)
+		}
+		if telemetryOut != "" {
+			writeReport(telemetryOut, report)
+		}
+	}
+	os.Exit(status)
 }
 
-func check(code int) {
-	if err := core.Check(code); err != nil {
+func writeReport(path string, report *telemetry.SolveReport) {
+	f, err := os.Create(path)
+	if err != nil {
 		log.Fatal(err)
 	}
+	if err := telemetry.WriteJSON(f, report); err != nil {
+		f.Close()
+		log.Fatal(err)
+	}
+	f.Close()
+	fmt.Fprintf(os.Stderr, "telemetry report written to %s\n", path)
 }

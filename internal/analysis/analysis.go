@@ -96,6 +96,7 @@ func Analyzers() []*Analyzer {
 		PortContract,
 		FloatEq,
 		TelemetryRecorder,
+		CtxComm,
 	}
 }
 

@@ -152,6 +152,11 @@ func TestTelemetryRecorderFixture(t *testing.T) {
 	runFixture(t, "telemetryrecorder", analysis.Options{}, fixtureRoot+"/telemetryrecorder")
 }
 
+func TestCtxCommFixture(t *testing.T) {
+	runFixture(t, "ctxcomm", analysis.Options{},
+		fixtureRoot+"/ctxcomm/ksp", fixtureRoot+"/ctxcomm/outofscope")
+}
+
 // TestMalformedSuppression: ignores without a reason or naming an unknown
 // analyzer are themselves findings.
 func TestMalformedSuppression(t *testing.T) {

@@ -1,0 +1,126 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CtxComm flags context.Background() / context.TODO() passed to the
+// context-taking comm APIs (Comm.WithContext, World.RunContext, and any
+// future internal/comm function with a context.Context parameter) from
+// inside the solver backend packages (ksp, aztec, slu, mg). A backend
+// that mints a fresh root context instead of threading the caller's one
+// detaches its blocking comm calls from the session's cancellation
+// scope: a -timeout or SIGINT abort then cannot unblock the ranks
+// sitting inside that backend, which is exactly the deadlock the
+// context plumbing exists to prevent. Backends receive their context
+// through the communicator the adapter binds (Comm.Context()); the rare
+// legitimate root context is suppressed per site with
+// `//lisi:ignore ctxcomm <reason>`.
+var CtxComm = &Analyzer{
+	Name: "ctxcomm",
+	Doc: "flags context.Background()/context.TODO() passed to context-taking internal/comm APIs " +
+		"from inside solver backends; thread the caller's context (Comm.Context()) instead",
+	Run: runCtxComm,
+}
+
+// ctxCommPackages are the final import-path segments of the solver
+// backend packages the check applies to.
+var ctxCommPackages = map[string]bool{
+	"ksp": true, "aztec": true, "slu": true, "mg": true,
+}
+
+func runCtxComm(pass *Pass) {
+	seg := pass.Pkg.Path
+	if i := strings.LastIndex(seg, "/"); i >= 0 {
+		seg = seg[i+1:]
+	}
+	if !ctxCommPackages[seg] {
+		return
+	}
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sig, name := commCalleeSignature(info, call)
+			if sig == nil {
+				return true
+			}
+			for i := 0; i < sig.Params().Len() && i < len(call.Args); i++ {
+				if !isContextType(sig.Params().At(i).Type()) {
+					continue
+				}
+				if root := rootContextName(info, call.Args[i]); root != "" {
+					pass.Report(call.Args[i].Pos(),
+						"context."+root+"() passed to comm."+name+" inside a solver backend detaches it from the session's cancellation scope",
+						"thread the caller's context through (e.g. Comm.Context()) instead of a root context")
+				}
+			}
+			return true
+		})
+	}
+}
+
+// commCalleeSignature resolves call's callee; when it is a function or
+// method of the internal/comm package it returns the signature and the
+// callee name, otherwise (nil, "").
+func commCalleeSignature(info *types.Info, call *ast.CallExpr) (*types.Signature, string) {
+	var obj types.Object
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		obj = info.Uses[fun.Sel]
+	case *ast.Ident:
+		obj = info.Uses[fun]
+	default:
+		return nil, ""
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil || !strings.HasSuffix(fn.Pkg().Path(), commPkgSuffix) {
+		return nil, ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return nil, ""
+	}
+	return sig, fn.Name()
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// rootContextName returns "Background" or "TODO" when arg is a direct
+// call of that context constructor, and "" otherwise.
+func rootContextName(info *types.Info, arg ast.Expr) string {
+	call, ok := ast.Unparen(arg).(*ast.CallExpr)
+	if !ok {
+		return ""
+	}
+	var obj types.Object
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		obj = info.Uses[fun.Sel]
+	case *ast.Ident:
+		obj = info.Uses[fun]
+	default:
+		return ""
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+		return ""
+	}
+	if name := fn.Name(); name == "Background" || name == "TODO" {
+		return name
+	}
+	return ""
+}

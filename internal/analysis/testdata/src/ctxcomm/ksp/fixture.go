@@ -1,0 +1,52 @@
+// Fixture for the ctxcomm analyzer. The package's path ends in "ksp",
+// one of the solver backend packages the check applies to: root
+// contexts handed to the comm layer here would detach the backend's
+// blocking calls from the session's cancellation scope.
+package ksp
+
+import (
+	"context"
+
+	"repro/internal/comm"
+)
+
+func freshBackground(c *comm.Comm) *comm.Comm {
+	return c.WithContext(context.Background()) // want "context\\.Background\\(\\) passed to comm\\.WithContext"
+}
+
+func freshTODO(c *comm.Comm) *comm.Comm {
+	return c.WithContext(context.TODO()) // want "context\\.TODO\\(\\) passed to comm\\.WithContext"
+}
+
+func runContextBackground(w *comm.World) error {
+	return w.RunContext(context.Background(), func(c *comm.Comm) {}) // want "context\\.Background\\(\\) passed to comm\\.RunContext"
+}
+
+func parenthesized(c *comm.Comm) *comm.Comm {
+	return c.WithContext((context.TODO())) // want "context\\.TODO\\(\\) passed to comm\\.WithContext"
+}
+
+// threadedContext is the supported idiom: the caller's context arrives
+// through the communicator and is threaded onward, never re-minted.
+func threadedContext(c *comm.Comm, inner *comm.Comm) *comm.Comm {
+	return inner.WithContext(c.Context())
+}
+
+func derivedContext(c *comm.Comm, ctx context.Context) *comm.Comm {
+	sub, cancel := context.WithCancel(ctx)
+	defer cancel()
+	return c.WithContext(sub)
+}
+
+// rootOutsideComm: root contexts are only a finding when they cross into
+// the comm layer; local use (e.g. for a detached helper) is fine.
+func rootOutsideComm() context.Context {
+	return context.Background()
+}
+
+// suppressed shows the per-site escape hatch for the rare legitimate
+// root context.
+func suppressed(c *comm.Comm) *comm.Comm {
+	//lisi:ignore ctxcomm detached maintenance solve, must survive session cancellation
+	return c.WithContext(context.Background())
+}

@@ -1,0 +1,20 @@
+// Fixture for the ctxcomm analyzer's scoping: this package path does
+// not end in a solver backend segment, so nothing here is flagged —
+// application drivers and cmds legitimately start from a root context.
+package outofscope
+
+import (
+	"context"
+
+	"repro/internal/comm"
+)
+
+func driverEntry(w *comm.World) error {
+	return w.RunContext(context.Background(), func(c *comm.Comm) {
+		c.Barrier()
+	})
+}
+
+func rebind(c *comm.Comm) *comm.Comm {
+	return c.WithContext(context.TODO())
+}

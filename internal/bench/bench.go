@@ -14,6 +14,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -41,17 +42,32 @@ const (
 	SolverSLU   Solver = "superlu-role(slu)"
 )
 
-// class returns the CCA class name of the solver component.
-func (s Solver) class() (string, error) {
+// registryName maps the benchmark's solver tag to the name the backend
+// registered under in the core registry.
+func (s Solver) registryName() (string, error) {
 	switch s {
 	case SolverKSP:
-		return core.ClassKSPSolver, nil
+		return "petsc", nil
 	case SolverAztec:
-		return core.ClassAztecSolver, nil
+		return "trilinos", nil
 	case SolverSLU:
-		return core.ClassSLUSolver, nil
+		return "superlu", nil
 	}
 	return "", fmt.Errorf("bench: unknown solver %q", s)
+}
+
+// class resolves the CCA class name of the solver component through the
+// core backend registry.
+func (s Solver) class() (string, error) {
+	name, err := s.registryName()
+	if err != nil {
+		return "", err
+	}
+	info, ok := core.Lookup(name)
+	if !ok {
+		return "", fmt.Errorf("bench: backend %q is not registered", name)
+	}
+	return info.Class, nil
 }
 
 // DefaultParams returns the LISI parameters used by the experiments:
@@ -74,8 +90,9 @@ type Measurement struct {
 }
 
 // RunCCA executes one measured solve through the full CCA assembly on p
-// simulated processors.
-func RunCCA(p int, solver Solver, gridN int, params map[string]string) (Measurement, error) {
+// simulated processors. Cancelling ctx unblocks every rank and returns
+// the cancellation cause.
+func RunCCA(ctx context.Context, p int, solver Solver, gridN int, params map[string]string) (Measurement, error) {
 	class, err := solver.class()
 	if err != nil {
 		return Measurement{}, err
@@ -90,7 +107,7 @@ func RunCCA(p int, solver Solver, gridN int, params map[string]string) (Measurem
 	runtime.GC()
 	var m Measurement
 	var solveErr error
-	err = w.Run(func(c *comm.Comm) {
+	err = w.RunContext(ctx, func(c *comm.Comm) {
 		fw := cca.NewFramework(c)
 		if err := fw.CreateInstance("driver", core.ClassDriver); err != nil {
 			solveErr = err
@@ -128,7 +145,7 @@ func RunCCA(p int, solver Solver, gridN int, params map[string]string) (Measurem
 
 // RunNonCCA executes the identical solve with direct native-package
 // calls (mesh generation included, exactly as in the CCA path).
-func RunNonCCA(p int, solver Solver, gridN int, params map[string]string) (Measurement, error) {
+func RunNonCCA(ctx context.Context, p int, solver Solver, gridN int, params map[string]string) (Measurement, error) {
 	if _, err := solver.class(); err != nil {
 		return Measurement{}, err
 	}
@@ -140,7 +157,7 @@ func RunNonCCA(p int, solver Solver, gridN int, params map[string]string) (Measu
 	runtime.GC()
 	var m Measurement
 	var solveErr error
-	err = w.Run(func(c *comm.Comm) {
+	err = w.RunContext(ctx, func(c *comm.Comm) {
 		c.Barrier()
 		start := time.Now()
 		iters, err := nativeSolveRec(c, solver, problem, params, nil)
@@ -282,14 +299,18 @@ var UseMedian = true
 
 // mean runs fn `runs` times and aggregates the times ("timing results
 // are collected for ten runs for each experiment and a mean value is
-// picked", §8 — see UseMedian).
-func mean(runs int, fn func() (Measurement, error)) (Measurement, error) {
+// picked", §8 — see UseMedian). Cancelling ctx stops the repetitions
+// before the next one starts and returns the cancellation cause.
+func mean(ctx context.Context, runs int, fn func() (Measurement, error)) (Measurement, error) {
 	if runs < 1 {
 		runs = 1
 	}
 	times := make([]float64, 0, runs)
 	var last Measurement
 	for r := 0; r < runs; r++ {
+		if err := ctx.Err(); err != nil {
+			return Measurement{}, err
+		}
 		m, err := fn()
 		if err != nil {
 			return Measurement{}, err
@@ -323,17 +344,19 @@ type Fig5Point struct {
 }
 
 // Figure5 regenerates one panel of Figure 5: CCA vs NonCCA execution
-// time for the given solver over the processor counts.
-func Figure5(solver Solver, gridN int, procs []int, runs int, params map[string]string) ([]Fig5Point, error) {
+// time for the given solver over the processor counts. On error — in
+// particular on ctx cancellation — the points completed so far are
+// returned alongside the error so callers can print partial results.
+func Figure5(ctx context.Context, solver Solver, gridN int, procs []int, runs int, params map[string]string) ([]Fig5Point, error) {
 	var out []Fig5Point
 	for _, p := range procs {
-		cca, err := mean(runs, func() (Measurement, error) { return RunCCA(p, solver, gridN, params) })
+		cca, err := mean(ctx, runs, func() (Measurement, error) { return RunCCA(ctx, p, solver, gridN, params) })
 		if err != nil {
-			return nil, fmt.Errorf("bench: figure5 %s p=%d (CCA): %w", solver, p, err)
+			return out, fmt.Errorf("bench: figure5 %s p=%d (CCA): %w", solver, p, err)
 		}
-		non, err := mean(runs, func() (Measurement, error) { return RunNonCCA(p, solver, gridN, params) })
+		non, err := mean(ctx, runs, func() (Measurement, error) { return RunNonCCA(ctx, p, solver, gridN, params) })
 		if err != nil {
-			return nil, fmt.Errorf("bench: figure5 %s p=%d (NonCCA): %w", solver, p, err)
+			return out, fmt.Errorf("bench: figure5 %s p=%d (NonCCA): %w", solver, p, err)
 		}
 		out = append(out, Fig5Point{Procs: p, CCA: cca.Seconds, NonCCA: non.Seconds})
 	}
@@ -351,21 +374,23 @@ type Table1Row struct {
 }
 
 // Table1 regenerates Table 1: the PETSc-role component on procs
-// processors across problem sizes given as nonzero counts.
-func Table1(nnzs []int, procs, runs int, params map[string]string) ([]Table1Row, error) {
+// processors across problem sizes given as nonzero counts. On error the
+// rows completed so far are returned alongside the error (partial
+// results on ctx cancellation).
+func Table1(ctx context.Context, nnzs []int, procs, runs int, params map[string]string) ([]Table1Row, error) {
 	var out []Table1Row
 	for _, nnz := range nnzs {
 		n, err := mesh.GridForNNZ(nnz)
 		if err != nil {
-			return nil, err
+			return out, err
 		}
-		cca, err := mean(runs, func() (Measurement, error) { return RunCCA(procs, SolverKSP, n, params) })
+		cca, err := mean(ctx, runs, func() (Measurement, error) { return RunCCA(ctx, procs, SolverKSP, n, params) })
 		if err != nil {
-			return nil, fmt.Errorf("bench: table1 nnz=%d (CCA): %w", nnz, err)
+			return out, fmt.Errorf("bench: table1 nnz=%d (CCA): %w", nnz, err)
 		}
-		non, err := mean(runs, func() (Measurement, error) { return RunNonCCA(procs, SolverKSP, n, params) })
+		non, err := mean(ctx, runs, func() (Measurement, error) { return RunNonCCA(ctx, procs, SolverKSP, n, params) })
 		if err != nil {
-			return nil, fmt.Errorf("bench: table1 nnz=%d (NonCCA): %w", nnz, err)
+			return out, fmt.Errorf("bench: table1 nnz=%d (NonCCA): %w", nnz, err)
 		}
 		row := Table1Row{
 			NNZ:      nnz,

@@ -1,6 +1,8 @@
 package bench
 
 import (
+	"context"
+	"errors"
 	"math"
 	"strings"
 	"testing"
@@ -13,14 +15,14 @@ const testGrid = 20
 func TestRunCCAAndNonCCAAllSolvers(t *testing.T) {
 	for _, s := range Solvers() {
 		for _, p := range []int{1, 2} {
-			cca, err := RunCCA(p, s, testGrid, DefaultParams())
+			cca, err := RunCCA(context.Background(), p, s, testGrid, DefaultParams())
 			if err != nil {
 				t.Fatalf("RunCCA(%s, p=%d): %v", s, p, err)
 			}
 			if cca.Seconds <= 0 {
 				t.Errorf("%s p=%d: non-positive CCA time", s, p)
 			}
-			non, err := RunNonCCA(p, s, testGrid, DefaultParams())
+			non, err := RunNonCCA(context.Background(), p, s, testGrid, DefaultParams())
 			if err != nil {
 				t.Fatalf("RunNonCCA(%s, p=%d): %v", s, p, err)
 			}
@@ -42,16 +44,16 @@ func TestRunCCAAndNonCCAAllSolvers(t *testing.T) {
 }
 
 func TestUnknownSolverRejected(t *testing.T) {
-	if _, err := RunCCA(1, Solver("zzz"), testGrid, nil); err == nil {
+	if _, err := RunCCA(context.Background(), 1, Solver("zzz"), testGrid, nil); err == nil {
 		t.Error("unknown solver accepted by RunCCA")
 	}
-	if _, err := RunNonCCA(1, Solver("zzz"), testGrid, nil); err == nil {
+	if _, err := RunNonCCA(context.Background(), 1, Solver("zzz"), testGrid, nil); err == nil {
 		t.Error("unknown solver accepted by RunNonCCA")
 	}
 }
 
 func TestFigure5Harness(t *testing.T) {
-	pts, err := Figure5(SolverKSP, testGrid, []int{1, 2}, 2, DefaultParams())
+	pts, err := Figure5(context.Background(), SolverKSP, testGrid, []int{1, 2}, 2, DefaultParams())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,7 +68,7 @@ func TestFigure5Harness(t *testing.T) {
 
 func TestTable1Harness(t *testing.T) {
 	// Grid 20 -> nnz = 5*400-80 = 1920.
-	rows, err := Table1([]int{1920}, 2, 2, DefaultParams())
+	rows, err := Table1(context.Background(), []int{1920}, 2, 2, DefaultParams())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +86,7 @@ func TestTable1Harness(t *testing.T) {
 	if !strings.Contains(out, "Table 1") || !strings.Contains(out, "1920") {
 		t.Errorf("format output:\n%s", out)
 	}
-	if _, err := Table1([]int{123}, 1, 1, nil); err == nil {
+	if _, err := Table1(context.Background(), []int{123}, 1, 1, nil); err == nil {
 		t.Error("non-representable nnz accepted")
 	}
 }
@@ -111,7 +113,7 @@ func TestSortRows(t *testing.T) {
 
 func TestMeanAveragesRuns(t *testing.T) {
 	n := 0
-	m, err := mean(4, func() (Measurement, error) {
+	m, err := mean(context.Background(), 4, func() (Measurement, error) {
 		n++
 		return Measurement{Seconds: float64(n), Iterations: n}, nil
 	})
@@ -123,5 +125,29 @@ func TestMeanAveragesRuns(t *testing.T) {
 	}
 	if m.Seconds != 2.5 {
 		t.Errorf("mean = %v, want 2.5", m.Seconds)
+	}
+}
+
+// TestCancelledContextStopsHarness checks the partial-result contract:
+// a cancelled context stops the repetition loops before the next run and
+// surfaces the cancellation cause to the caller.
+func TestCancelledContextStopsHarness(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := mean(ctx, 3, func() (Measurement, error) {
+		t.Fatal("fn ran under a cancelled context")
+		return Measurement{}, nil
+	}); !errors.Is(err, context.Canceled) {
+		t.Errorf("mean error = %v, want context.Canceled", err)
+	}
+	pts, err := Figure5(ctx, SolverKSP, testGrid, []int{1, 2}, 1, DefaultParams())
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("Figure5 error = %v, want context.Canceled", err)
+	}
+	if len(pts) != 0 {
+		t.Errorf("Figure5 returned %d points under a pre-cancelled context", len(pts))
+	}
+	if _, err := RunCCA(ctx, 2, SolverKSP, testGrid, DefaultParams()); !errors.Is(err, context.Canceled) {
+		t.Errorf("RunCCA error = %v, want context.Canceled", err)
 	}
 }

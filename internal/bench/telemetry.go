@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"strings"
@@ -55,7 +56,7 @@ func finishReport(r *telemetry.SolveReport, solver Solver, path string, p int, p
 // assembly: a recorder rides on rank 0's driver component, so the report
 // carries the port-overhead, setup, precond and iterate phases plus the
 // residual trace; comm totals are summed over all ranks after the run.
-func RunCCAReport(p int, solver Solver, gridN int, params map[string]string) (*telemetry.SolveReport, error) {
+func RunCCAReport(ctx context.Context, p int, solver Solver, gridN int, params map[string]string) (*telemetry.SolveReport, error) {
 	class, err := solver.class()
 	if err != nil {
 		return nil, err
@@ -68,7 +69,7 @@ func RunCCAReport(p int, solver Solver, gridN int, params map[string]string) (*t
 	runtime.GC()
 	var rep *telemetry.SolveReport
 	var solveErr error
-	err = w.Run(func(c *comm.Comm) {
+	err = w.RunContext(ctx, func(c *comm.Comm) {
 		fw := cca.NewFramework(c)
 		if err := fw.CreateInstance("driver", core.ClassDriver); err != nil {
 			solveErr = err
@@ -123,7 +124,7 @@ func RunCCAReport(p int, solver Solver, gridN int, params map[string]string) (*t
 // RunNonCCAReport executes the identical solve through direct native
 // calls with the same instrumentation, producing the baseline report the
 // CCA run is compared against.
-func RunNonCCAReport(p int, solver Solver, gridN int, params map[string]string) (*telemetry.SolveReport, error) {
+func RunNonCCAReport(ctx context.Context, p int, solver Solver, gridN int, params map[string]string) (*telemetry.SolveReport, error) {
 	if _, err := solver.class(); err != nil {
 		return nil, err
 	}
@@ -135,7 +136,7 @@ func RunNonCCAReport(p int, solver Solver, gridN int, params map[string]string) 
 	runtime.GC()
 	var rep *telemetry.SolveReport
 	var solveErr error
-	err = w.Run(func(c *comm.Comm) {
+	err = w.RunContext(ctx, func(c *comm.Comm) {
 		var rec *telemetry.Recorder
 		if c.Rank() == 0 {
 			rec = telemetry.New()
@@ -200,19 +201,21 @@ func (a Attribution) Dispatch() float64 {
 }
 
 // CollectAttribution runs both paths for every solver backend on p
-// simulated processors and records all reports into the aggregator.
-func CollectAttribution(agg *telemetry.Aggregator, p, gridN, runs int, params map[string]string) ([]Attribution, error) {
+// simulated processors and records all reports into the aggregator. On
+// error — in particular on ctx cancellation — the attributions completed
+// so far are returned alongside the error.
+func CollectAttribution(ctx context.Context, agg *telemetry.Aggregator, p, gridN, runs int, params map[string]string) ([]Attribution, error) {
 	var out []Attribution
 	for _, s := range Solvers() {
 		var ccaRep, nonRep *telemetry.SolveReport
 		for r := 0; r < runs || r == 0; r++ {
-			cr, err := RunCCAReport(p, s, gridN, params)
+			cr, err := RunCCAReport(ctx, p, s, gridN, params)
 			if err != nil {
-				return nil, fmt.Errorf("bench: telemetry %s (CCA): %w", s, err)
+				return out, fmt.Errorf("bench: telemetry %s (CCA): %w", s, err)
 			}
-			nr, err := RunNonCCAReport(p, s, gridN, params)
+			nr, err := RunNonCCAReport(ctx, p, s, gridN, params)
 			if err != nil {
-				return nil, fmt.Errorf("bench: telemetry %s (NonCCA): %w", s, err)
+				return out, fmt.Errorf("bench: telemetry %s (NonCCA): %w", s, err)
 			}
 			// Keep the fastest pair: repeated runs exist to shed scheduler
 			// noise, and minima are the most stable location statistic for

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"strings"
 	"testing"
@@ -14,7 +15,7 @@ import (
 // attribution quantities the telemetry layer exists for.
 func TestCollectAttribution(t *testing.T) {
 	agg := telemetry.NewAggregator()
-	atts, err := CollectAttribution(agg, 2, 10, 1, DefaultParams())
+	atts, err := CollectAttribution(context.Background(), agg, 2, 10, 1, DefaultParams())
 	if err != nil {
 		t.Fatal(err)
 	}

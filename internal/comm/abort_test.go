@@ -1,6 +1,8 @@
 package comm
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
 	"time"
@@ -138,4 +140,149 @@ func TestSplitAfterAbortPoisonsChild(t *testing.T) {
 	}()
 	(&Comm{w: child, rank: 0}).Barrier()
 	t.Fatal("barrier on poisoned child world did not panic")
+}
+
+// runCtxWithDeadline mirrors runWithDeadline for RunContext regions.
+func runCtxWithDeadline(t *testing.T, w *World, d time.Duration, ctx context.Context, fn func(c *Comm)) error {
+	t.Helper()
+	done := make(chan error, 1)
+	go func() { done <- w.RunContext(ctx, fn) }()
+	select {
+	case err := <-done:
+		return err
+	case <-time.After(d):
+		t.Fatalf("RunContext did not return within %v: cancellation path deadlocked", d)
+		return nil
+	}
+}
+
+// TestDeadlineUnblocksBarrier: a rank blocked in a barrier its peer never
+// joins must unblock when the region deadline passes, and RunContext must
+// surface context.DeadlineExceeded.
+func TestDeadlineUnblocksBarrier(t *testing.T) {
+	w, _ := NewWorld(2)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := runCtxWithDeadline(t, w, 10*time.Second, ctx, func(c *Comm) {
+		if c.Rank() == 1 {
+			return // never joins the barrier
+		}
+		c.Barrier()
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("RunContext error = %v, want context.DeadlineExceeded", err)
+	}
+	if waited := time.Since(start); waited > 5*time.Second {
+		t.Fatalf("barrier released only after %v; deadline was 50ms", waited)
+	}
+	if !errors.Is(w.Cause(), context.DeadlineExceeded) {
+		t.Fatalf("Cause() = %v, want context.DeadlineExceeded", w.Cause())
+	}
+}
+
+// TestCancelUnblocksAllReduce: an explicit cancel must release ranks
+// blocked inside a collective exchange.
+func TestCancelUnblocksAllReduce(t *testing.T) {
+	w, _ := NewWorld(4)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	time.AfterFunc(20*time.Millisecond, cancel)
+	err := runCtxWithDeadline(t, w, 10*time.Second, ctx, func(c *Comm) {
+		if c.Rank() == 3 {
+			return // the collective can never complete
+		}
+		c.AllReduceInt(1, OpSum)
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunContext error = %v, want context.Canceled", err)
+	}
+}
+
+// TestCancelUnblocksRecv: a receive that will never be matched must
+// unblock on cancellation even though only that one rank is blocked.
+func TestCancelUnblocksRecv(t *testing.T) {
+	w, _ := NewWorld(2)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	err := runCtxWithDeadline(t, w, 10*time.Second, ctx, func(c *Comm) {
+		if c.Rank() == 0 {
+			c.RecvFloat64s(1, 7) // rank 1 never sends
+		}
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("RunContext error = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// TestSplitPropagatesCancellation: only rank 0 binds the context, and it
+// observes the deadline inside a *sub-communicator* barrier. The
+// cancellation must travel to the root of the Split tree and poison the
+// parent world, releasing ranks 1..3 blocked in a plain parent barrier —
+// the cooperative cancel-propagation path of the tentpole.
+func TestSplitPropagatesCancellation(t *testing.T) {
+	w, _ := NewWorld(4)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	err := runWithDeadline(t, w, 10*time.Second, func(c *Comm) {
+		// Ranks 0,1 share a sub-world; ranks 2,3 another.
+		sub := c.Split(c.Rank()/2, 0)
+		switch c.Rank() {
+		case 0:
+			// Bound context; blocks forever because rank 1 skips the
+			// sub-world barrier.
+			sub.WithContext(ctx).Barrier()
+		default:
+			// Plain, uncancellable parent barrier that rank 0 never joins.
+			c.Barrier()
+		}
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Run error = %v, want context.DeadlineExceeded via sub-world cancel", err)
+	}
+}
+
+// TestRunContextPreCancelled: a context that is already dead must fail the
+// region promptly on the first communication attempt.
+func TestRunContextPreCancelled(t *testing.T) {
+	w, _ := NewWorld(2)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := runCtxWithDeadline(t, w, 10*time.Second, ctx, func(c *Comm) {
+		c.Barrier()
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunContext error = %v, want context.Canceled", err)
+	}
+}
+
+// TestWithContextInheritedBySplit: the sub-communicator returned by Split
+// must carry the caller's context without an explicit rebind.
+func TestWithContextInheritedBySplit(t *testing.T) {
+	w, _ := NewWorld(2)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	err := runWithDeadline(t, w, 10*time.Second, func(c *Comm) {
+		sub := c.WithContext(ctx).Split(0, 0)
+		if sub.Rank() == 0 {
+			sub.RecvInts(1, 9) // peer never sends; inherited ctx must fire
+		}
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Run error = %v, want context.DeadlineExceeded from inherited ctx", err)
+	}
+}
+
+// TestRunAfterCancelReportsCause: the world stays poisoned after a
+// cancellation, and later regions report the original cause instead of
+// silently deadlocking or succeeding.
+func TestRunAfterCancelReportsCause(t *testing.T) {
+	w, _ := NewWorld(1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_ = w.RunContext(ctx, func(c *Comm) { c.Barrier() })
+	err := runWithDeadline(t, w, 10*time.Second, func(c *Comm) {})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("second Run error = %v, want the recorded context.Canceled cause", err)
+	}
 }

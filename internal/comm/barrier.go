@@ -5,61 +5,76 @@ import (
 	"time"
 )
 
-// barrier is a reusable (cyclic) sense-reversing barrier for a fixed number
-// of participants, with abort support.
+// awaitResult reports how a blocking wait ended: normally, killed by a
+// world abort, or killed by the caller's context.
+type awaitResult int
+
+const (
+	awaitOK awaitResult = iota
+	awaitAborted
+	awaitCtxDone
+)
+
+// barrier is a reusable (cyclic) barrier for a fixed number of
+// participants. Each generation has a gate channel that the last arrival
+// closes; waiters select on the gate, the world's abort channel and the
+// caller's context, so a blocked rank can always be released.
 type barrier struct {
 	mu      sync.Mutex
-	cond    *sync.Cond
 	parties int
 	waiting int
-	gen     uint64
-	aborted bool
+	gate    chan struct{} // closed when the current generation completes
 	abortCh chan struct{}
 }
 
 func newBarrier(parties int, abortCh chan struct{}) *barrier {
-	b := &barrier{parties: parties, abortCh: abortCh}
-	b.cond = sync.NewCond(&b.mu)
-	return b
+	return &barrier{parties: parties, abortCh: abortCh, gate: make(chan struct{})}
 }
 
-func (b *barrier) await() {
+// await blocks until all parties of the current generation have entered,
+// the world aborts, or done fires — whichever comes first.
+func (b *barrier) await(done <-chan struct{}) awaitResult {
 	b.mu.Lock()
-	defer b.mu.Unlock()
-	if b.aborted {
-		panic(ErrAborted)
+	select {
+	case <-b.abortCh:
+		b.mu.Unlock()
+		return awaitAborted
+	default:
 	}
-	gen := b.gen
 	b.waiting++
 	if b.waiting == b.parties {
 		b.waiting = 0
-		b.gen++
-		b.cond.Broadcast()
-		return
+		close(b.gate)
+		b.gate = make(chan struct{})
+		b.mu.Unlock()
+		return awaitOK
 	}
-	for gen == b.gen {
-		if b.aborted {
-			panic(ErrAborted)
-		}
-		b.cond.Wait()
-	}
-	if b.aborted {
-		panic(ErrAborted)
-	}
-}
-
-func (b *barrier) abortAll() {
-	b.mu.Lock()
-	b.aborted = true
-	b.cond.Broadcast()
+	gate := b.gate
 	b.mu.Unlock()
+	select {
+	case <-gate:
+		return awaitOK
+	case <-b.abortCh:
+		return awaitAborted
+	case <-done:
+		return awaitCtxDone
+	}
 }
 
-// Barrier blocks until every rank in the world has entered it.
+// Barrier blocks until every rank in the world has entered it, the world
+// is aborted, or the Comm's bound context is cancelled (which aborts the
+// world — see the package comment on cancellation).
 func (c *Comm) Barrier() {
+	c.checkCtx()
 	st := &c.w.stats[c.rank]
 	st.barriers.Add(1)
 	start := time.Now()
-	c.w.bar.await()
+	res := c.w.bar.await(c.ctxDone())
 	st.barrierWaitNs.Add(int64(time.Since(start)))
+	switch res {
+	case awaitAborted:
+		panic(ErrAborted)
+	case awaitCtxDone:
+		c.cancelled()
+	}
 }

@@ -13,9 +13,23 @@
 // Send/Recv, Barrier, Bcast, Reduce, AllReduce, Gather, AllGather, Scatter)
 // so that the solver substrates built on top of it exercise the same code
 // paths a cluster implementation would.
+//
+// # Cancellation
+//
+// Every blocking operation honors the context bound to its Comm (see
+// WithContext and RunContext). When that context is cancelled or its
+// deadline passes while a rank is blocked — or about to block — the rank
+// cancels the whole communicator tree (root world and every Split-derived
+// sub-world) and panics with ErrAborted, exactly as if Abort had been
+// called. This mirrors MPI_Abort semantics: cancellation is cooperative
+// but world-fatal, so one rank's deadline can never leave its peers
+// deadlocked in a barrier or collective the cancelled rank will never
+// join. Run and RunContext recover the resulting panics and report the
+// recorded cancellation cause.
 package comm
 
 import (
+	"context"
 	"fmt"
 	"sync"
 )
@@ -27,7 +41,7 @@ const AnySource = -1
 const AnyTag = -1
 
 // World is a fixed-size set of communicating ranks. Create one with
-// NewWorld and execute an SPMD region with Run.
+// NewWorld and execute an SPMD region with Run or RunContext.
 type World struct {
 	size  int
 	mail  []*mailbox
@@ -37,10 +51,18 @@ type World struct {
 	abort chan struct{}
 	once  sync.Once
 
+	// causeMu guards cause, the first cancellation error recorded before
+	// the abort machinery fired (nil for a plain Abort).
+	causeMu sync.Mutex
+	cause   error
+
 	// Sub-worlds created by Split register here so an abort of this
-	// world releases ranks blocked inside sub-communicator calls too.
+	// world releases ranks blocked inside sub-communicator calls too;
+	// parent points the other way so a cancellation observed inside a
+	// sub-world poisons the whole communicator tree from the root down.
 	childMu  sync.Mutex
 	children []*World
+	parent   *World
 }
 
 // NewWorld creates a world with the given number of ranks. size must be
@@ -57,7 +79,7 @@ func NewWorld(size int) (*World, error) {
 		abort: make(chan struct{}),
 	}
 	for i := range w.mail {
-		w.mail[i] = newMailbox()
+		w.mail[i] = newMailbox(w.abort)
 	}
 	w.bar = newBarrier(size, w.abort)
 	return w, nil
@@ -74,10 +96,6 @@ func (w *World) Size() int { return w.size }
 func (w *World) Abort() {
 	w.once.Do(func() {
 		close(w.abort)
-		for _, m := range w.mail {
-			m.abortAll()
-		}
-		w.bar.abortAll()
 		w.childMu.Lock()
 		children := append([]*World(nil), w.children...)
 		w.childMu.Unlock()
@@ -85,6 +103,50 @@ func (w *World) Abort() {
 			child.Abort()
 		}
 	})
+}
+
+// cancel records cause as the reason this communicator tree died and
+// aborts it. The poison is applied from the root of the Split tree so a
+// deadline observed inside a sub-world releases ranks blocked in parent
+// (or sibling) communicators too — without this, one rank's cancellation
+// inside a sub-world would deadlock peers waiting in the parent world.
+func (w *World) cancel(cause error) {
+	root := w
+	for {
+		root.childMu.Lock()
+		p := root.parent
+		root.childMu.Unlock()
+		if p == nil {
+			break
+		}
+		root = p
+	}
+	root.cancelDown(cause)
+}
+
+// cancelDown records cause on w and every descendant, then aborts w
+// (Abort cascades to the descendants again; it is idempotent).
+func (w *World) cancelDown(cause error) {
+	w.causeMu.Lock()
+	if w.cause == nil && cause != nil {
+		w.cause = cause
+	}
+	w.causeMu.Unlock()
+	w.childMu.Lock()
+	children := append([]*World(nil), w.children...)
+	w.childMu.Unlock()
+	for _, child := range children {
+		child.cancelDown(cause)
+	}
+	w.Abort()
+}
+
+// Cause returns the context error that cancelled this world, or nil if
+// the world is alive or was aborted without a recorded cause.
+func (w *World) Cause() error {
+	w.causeMu.Lock()
+	defer w.causeMu.Unlock()
+	return w.cause
 }
 
 // aborted reports whether Abort has run (or begun).
@@ -101,6 +163,9 @@ func (w *World) aborted() bool {
 // domain. When the parent is already aborted the child is poisoned
 // immediately, closing the race between Split and a concurrent Abort.
 func (w *World) addChild(child *World) {
+	child.childMu.Lock()
+	child.parent = w
+	child.childMu.Unlock()
 	w.childMu.Lock()
 	w.children = append(w.children, child)
 	aborted := w.aborted()
@@ -111,14 +176,49 @@ func (w *World) addChild(child *World) {
 }
 
 // ErrAborted is the panic value raised in ranks blocked on communication
-// when the world is aborted (typically because another rank panicked).
+// when the world is aborted (typically because another rank panicked or a
+// bound context was cancelled).
 var ErrAborted = fmt.Errorf("comm: world aborted")
 
 // Run executes fn once per rank, concurrently, and waits for all ranks to
 // finish. If any rank panics, the world is aborted so the remaining ranks
 // cannot deadlock, and Run returns an error describing the first panic.
-// A World may host many consecutive Run regions, but not concurrent ones.
-func (w *World) Run(fn func(c *Comm)) (err error) {
+// If the region was instead killed by a cancelled context (see WithContext),
+// Run returns an error wrapping the recorded cause. A World may host many
+// consecutive Run regions, but not concurrent ones.
+func (w *World) Run(fn func(c *Comm)) error {
+	return w.run(nil, fn)
+}
+
+// RunContext executes fn once per rank like Run, with ctx bound to every
+// rank's Comm: blocking communication unblocks promptly when ctx is
+// cancelled or its deadline passes, and a single watcher goroutine (which
+// never outlives the call) covers ranks that are between communication
+// calls when the context dies. When the region is cancelled, RunContext
+// returns an error satisfying errors.Is against ctx.Err().
+func (w *World) RunContext(ctx context.Context, fn func(c *Comm)) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var watcherDone chan struct{}
+	if ctx.Done() != nil {
+		watcherDone = make(chan struct{})
+		go func() {
+			select {
+			case <-ctx.Done():
+				w.cancel(ctx.Err())
+			case <-watcherDone:
+			}
+		}()
+	}
+	err := w.run(ctx, fn)
+	if watcherDone != nil {
+		close(watcherDone)
+	}
+	return err
+}
+
+func (w *World) run(ctx context.Context, fn func(c *Comm)) error {
 	var wg sync.WaitGroup
 	var mu sync.Mutex
 	var firstErr error
@@ -136,11 +236,17 @@ func (w *World) Run(fn func(c *Comm)) (err error) {
 					w.Abort()
 				}
 			}()
-			fn(&Comm{w: w, rank: rank})
+			fn(&Comm{w: w, rank: rank, ctx: ctx})
 		}(r)
 	}
 	wg.Wait()
-	return firstErr
+	if firstErr != nil {
+		return firstErr
+	}
+	if cause := w.Cause(); cause != nil {
+		return fmt.Errorf("comm: run cancelled: %w", cause)
+	}
+	return nil
 }
 
 // Comm is one rank's handle on its World. All communication methods are
@@ -149,6 +255,7 @@ func (w *World) Run(fn func(c *Comm)) (err error) {
 type Comm struct {
 	w    *World
 	rank int
+	ctx  context.Context // nil means no cancellation scope
 }
 
 // Rank returns this rank's id in [0, Size).
@@ -159,6 +266,56 @@ func (c *Comm) Size() int { return c.w.size }
 
 // World returns the underlying world.
 func (c *Comm) World() *World { return c.w }
+
+// WithContext returns a copy of c whose blocking operations additionally
+// unblock (by cancelling the world and panicking with ErrAborted) when
+// ctx is cancelled or its deadline passes. The original Comm is not
+// modified; Split inherits the context into the sub-communicator handle.
+func (c *Comm) WithContext(ctx context.Context) *Comm {
+	return &Comm{w: c.w, rank: c.rank, ctx: ctx}
+}
+
+// Context returns the context bound to this Comm, or context.Background()
+// when none is bound.
+func (c *Comm) Context() context.Context {
+	if c.ctx == nil {
+		return context.Background()
+	}
+	return c.ctx
+}
+
+// ctxDone returns the bound context's done channel (nil when no context
+// is bound or the context can never be cancelled; a nil channel blocks
+// forever in select, so the uncancellable path costs nothing).
+func (c *Comm) ctxDone() <-chan struct{} {
+	if c.ctx == nil {
+		return nil
+	}
+	return c.ctx.Done()
+}
+
+// checkCtx fails fast when the bound context is already dead: it cancels
+// the communicator tree and panics with ErrAborted.
+func (c *Comm) checkCtx() {
+	if c.ctx == nil {
+		return
+	}
+	if err := c.ctx.Err(); err != nil {
+		c.w.cancel(err)
+		panic(ErrAborted)
+	}
+}
+
+// cancelled handles a ctx.Done observed mid-block: record the cause,
+// poison the tree, raise the abort panic.
+func (c *Comm) cancelled() {
+	err := c.ctx.Err()
+	if err == nil {
+		err = context.Canceled
+	}
+	c.w.cancel(err)
+	panic(ErrAborted)
+}
 
 func (c *Comm) checkPeer(peer int) {
 	if peer < 0 || peer >= c.w.size {

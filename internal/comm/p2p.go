@@ -9,61 +9,72 @@ type message struct {
 	data any
 }
 
-// mailbox holds unmatched incoming messages for one rank.
+// mailbox holds unmatched incoming messages for one rank. Waiters block
+// on a broadcast channel that each delivery closes and replaces, so a
+// blocked take can also select on the world's abort channel and on the
+// receiving rank's context.
 type mailbox struct {
 	mu      sync.Mutex
-	cond    *sync.Cond
 	queue   []message
-	aborted bool
+	arrived chan struct{} // closed and replaced on each delivery
+	abortCh chan struct{}
 }
 
-func newMailbox() *mailbox {
-	m := &mailbox{}
-	m.cond = sync.NewCond(&m.mu)
-	return m
+func newMailbox(abortCh chan struct{}) *mailbox {
+	return &mailbox{arrived: make(chan struct{}), abortCh: abortCh}
 }
 
 func (m *mailbox) put(msg message) {
 	m.mu.Lock()
-	defer m.mu.Unlock()
-	if m.aborted {
+	select {
+	case <-m.abortCh:
+		m.mu.Unlock()
 		panic(ErrAborted)
+	default:
 	}
 	m.queue = append(m.queue, msg)
-	m.cond.Broadcast()
+	close(m.arrived)
+	m.arrived = make(chan struct{})
+	m.mu.Unlock()
 }
 
 // take blocks until a message matching (src, tag) is available and removes
 // it from the queue. Matching is FIFO among matching messages, which gives
-// MPI's non-overtaking guarantee per (src, tag) pair.
-func (m *mailbox) take(src, tag int) message {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+// MPI's non-overtaking guarantee per (src, tag) pair. The wait ends early
+// when the world aborts or done fires.
+func (m *mailbox) take(src, tag int, done <-chan struct{}) (message, awaitResult) {
 	for {
-		if m.aborted {
-			panic(ErrAborted)
+		m.mu.Lock()
+		select {
+		case <-m.abortCh:
+			m.mu.Unlock()
+			return message{}, awaitAborted
+		default:
 		}
 		for i, msg := range m.queue {
 			if (src == AnySource || msg.src == src) && (tag == AnyTag || msg.tag == tag) {
 				m.queue = append(m.queue[:i], m.queue[i+1:]...)
-				return msg
+				m.mu.Unlock()
+				return msg, awaitOK
 			}
 		}
-		m.cond.Wait()
+		arrived := m.arrived
+		m.mu.Unlock()
+		select {
+		case <-arrived:
+		case <-m.abortCh:
+			return message{}, awaitAborted
+		case <-done:
+			return message{}, awaitCtxDone
+		}
 	}
-}
-
-func (m *mailbox) abortAll() {
-	m.mu.Lock()
-	m.aborted = true
-	m.cond.Broadcast()
-	m.mu.Unlock()
 }
 
 // send delivers a payload to dest. The payload must already be an owned
 // copy; the typed wrappers below take care of copying.
 func (c *Comm) send(dest, tag int, data any) {
 	c.checkPeer(dest)
+	c.checkCtx()
 	st := &c.w.stats[c.rank]
 	st.sends.Add(1)
 	st.bytesSent.Add(payloadBytes(data))
@@ -76,7 +87,14 @@ func (c *Comm) recv(src, tag int) (any, int) {
 	if src != AnySource {
 		c.checkPeer(src)
 	}
-	msg := c.w.mail[c.rank].take(src, tag)
+	c.checkCtx()
+	msg, res := c.w.mail[c.rank].take(src, tag, c.ctxDone())
+	switch res {
+	case awaitAborted:
+		panic(ErrAborted)
+	case awaitCtxDone:
+		c.cancelled()
+	}
 	st := &c.w.stats[c.rank]
 	st.recvs.Add(1)
 	st.bytesRecv.Add(payloadBytes(msg.data))

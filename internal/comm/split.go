@@ -10,11 +10,14 @@ const tagSplit = 0x5350
 // same sub-communicator, with sub-ranks ordered by (key, parent rank).
 // Collective over the parent communicator.
 //
-// The returned communicator supports the full operation set. The
-// sub-world is registered in the parent's abort domain: a Run-level
-// panic aborts the parent world and, transitively, every sub-world, so
-// ranks blocked inside sub-communicator barriers or collectives are
-// released instead of deadlocking the Run region.
+// The returned communicator supports the full operation set and
+// inherits the caller's bound context (see WithContext). The sub-world
+// is registered in the parent's abort domain: a Run-level panic aborts
+// the parent world and, transitively, every sub-world, so ranks blocked
+// inside sub-communicator barriers or collectives are released instead
+// of deadlocking the Run region. Cancellation flows the other way too —
+// a context cancellation observed inside the sub-world poisons the tree
+// from the root, releasing ranks blocked in the parent communicator.
 func (c *Comm) Split(color, key int) *Comm {
 	// Publish (color, key) pairs.
 	all := c.AllGatherInts([]int{color, key})
@@ -49,12 +52,12 @@ func (c *Comm) Split(color, key int) *Comm {
 		for i := 1; i < len(group); i++ {
 			c.send(group[i].rank, tagSplit, sw)
 		}
-		return &Comm{w: sw, rank: 0}
+		return &Comm{w: sw, rank: 0, ctx: c.ctx}
 	}
 	data, _ := c.recv(group[0].rank, tagSplit)
 	sw, ok := data.(*World)
 	if !ok {
 		panic("comm: Split handshake received unexpected payload")
 	}
-	return &Comm{w: sw, rank: myIdx}
+	return &Comm{w: sw, rank: myIdx, ctx: c.ctx}
 }

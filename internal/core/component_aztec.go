@@ -271,5 +271,10 @@ func (o *lisiOperator) Apply(y, x []float64) error {
 }
 
 func init() {
-	cca.RegisterClass(ClassAztecSolver, func() cca.Component { return NewAztecComponent() })
+	Register(BackendInfo{
+		Name:  "trilinos",
+		Class: ClassAztecSolver,
+		Kind:  "iterative (Krylov)",
+		Doc:   "Trilinos-role `aztec` package: integer option / double parameter control surface behind the same port",
+	}, func() SparseSolver { return NewAztecComponent() })
 }

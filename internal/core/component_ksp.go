@@ -243,5 +243,10 @@ func (kc *KSPComponent) Solve(solution []float64, status []float64, numLocalRow,
 }
 
 func init() {
-	cca.RegisterClass(ClassKSPSolver, func() cca.Component { return NewKSPComponent() })
+	Register(BackendInfo{
+		Name:  "petsc",
+		Class: ClassKSPSolver,
+		Kind:  "iterative (Krylov)",
+		Doc:   "PETSc-role `ksp` package: CG, GMRES, BiCGStab and friends with Jacobi/SOR/ILU-class preconditioners",
+	}, func() SparseSolver { return NewKSPComponent() })
 }

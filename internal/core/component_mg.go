@@ -242,5 +242,10 @@ func (mc *MGComponent) Solve(solution []float64, status []float64, numLocalRow, 
 }
 
 func init() {
-	cca.RegisterClass(ClassMGSolver, func() cca.Component { return NewMGComponent() })
+	Register(BackendInfo{
+		Name:  "mg",
+		Class: ClassMGSolver,
+		Kind:  "multilevel (geometric)",
+		Doc:   "geometric multigrid for the model PDE; delegates the coarse solve to an inner SuperLU component through the port (requires `grid_n`)",
+	}, func() SparseSolver { return NewMGComponent() })
 }

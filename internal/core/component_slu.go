@@ -175,5 +175,10 @@ func (sc *SLUComponent) Solve(solution []float64, status []float64, numLocalRow,
 }
 
 func init() {
-	cca.RegisterClass(ClassSLUSolver, func() cca.Component { return NewSLUComponent() })
+	Register(BackendInfo{
+		Name:  "superlu",
+		Class: ClassSLUSolver,
+		Kind:  "direct (sparse LU)",
+		Doc:   "SuperLU-role `slu` package: distributed LU factorization with reuse across repeated solves",
+	}, func() SparseSolver { return NewSLUComponent() })
 }

@@ -78,6 +78,7 @@ const (
 	ErrUnknownKey  = -3 // unrecognized parameter key
 	ErrSolveFailed = -4 // the underlying solver did not converge / failed
 	ErrUnsupported = -5 // capability not available in this component
+	ErrAborted     = -6 // solve cancelled or deadline exceeded before completing
 )
 
 // Check converts a LISI status code into an error (nil for OK).
@@ -95,6 +96,8 @@ func Check(code int) error {
 		return fmt.Errorf("lisi: solve failed")
 	case ErrUnsupported:
 		return fmt.Errorf("lisi: operation unsupported by this component")
+	case ErrAborted:
+		return fmt.Errorf("lisi: solve aborted (cancelled or deadline exceeded)")
 	}
 	return fmt.Errorf("lisi: status code %d", code)
 }

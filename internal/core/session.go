@@ -1,0 +1,321 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/pmat"
+	"repro/internal/sparse"
+	"repro/internal/telemetry"
+)
+
+// SessionOptions configure OpenSession.
+type SessionOptions struct {
+	// Recorder receives the backend's telemetry (nil disables it).
+	Recorder *telemetry.Recorder
+	// SolveTimeout is the per-solve deadline applied on top of the
+	// context passed to Solve; zero means no session-level deadline.
+	SolveTimeout time.Duration
+	// Params are LISI key=value parameters applied (in sorted key order,
+	// for SPMD determinism) right after the component is opened.
+	Params map[string]string
+}
+
+// SolveResult is the decoded Status array of one Solve, plus the
+// cancellation outcome.
+type SolveResult struct {
+	Iterations     int
+	Residual       float64
+	Converged      bool
+	Factorizations int
+
+	// Aborted is set when the solve was killed by context cancellation
+	// or deadline expiry; AbortReason distinguishes the two. An aborted
+	// solve poisons the session's world: the Session refuses further
+	// calls and a fresh World must be created to solve again.
+	Aborted     bool
+	AbortReason string
+}
+
+// Session is the service-level lifecycle around one registry-opened
+// solver backend on one SPMD rank: Open → Setup → Solve* → Close. Every
+// rank of the Run region opens its own Session against the same backend
+// name (the usual SPMD discipline). The Session owns per-solve deadlines
+// — a Solve that overruns SessionOptions.SolveTimeout (or whose caller
+// context is cancelled, e.g. by SIGINT) unblocks promptly on every rank
+// and reports an aborted status instead of deadlocking — and it reuses
+// the staged matrix across repeated solves through the component's
+// matVer mechanism, so a second Solve against an unchanged matrix skips
+// refactorization/operator rebuild.
+type Session struct {
+	info    BackendInfo
+	solver  SparseSolver
+	c       *comm.Comm
+	rec     *telemetry.Recorder
+	timeout time.Duration
+
+	layout    *pmat.Layout
+	nRhs      int
+	matStaged bool
+	rhsStaged bool
+	closed    bool
+	dead      bool // world poisoned by a cancelled/aborted solve
+
+	solves  int
+	aborted int
+}
+
+// ErrSessionClosed is returned by Session methods after Close.
+var ErrSessionClosed = errors.New("core: session is closed")
+
+// ErrSessionDead is returned once a solve was aborted: the underlying
+// world is poisoned, so the session cannot be used again.
+var ErrSessionDead = errors.New("core: session world aborted; open a new session on a fresh world")
+
+// OpenSession opens the named backend from the registry, binds it to c,
+// and applies the options. Collective over c's world: every rank must
+// open the same backend.
+func OpenSession(backend string, c *comm.Comm, opts SessionOptions) (*Session, error) {
+	if c == nil {
+		return nil, fmt.Errorf("core: OpenSession requires a communicator")
+	}
+	solver, err := Open(backend)
+	if err != nil {
+		return nil, err
+	}
+	info, _ := Lookup(backend)
+	s := &Session{
+		info:    info,
+		solver:  solver,
+		c:       c,
+		rec:     opts.Recorder,
+		timeout: opts.SolveTimeout,
+	}
+	if ins, ok := solver.(Instrumented); ok {
+		ins.SetRecorder(opts.Recorder)
+	}
+	if code := solver.Initialize(c); code != OK {
+		return nil, Check(code)
+	}
+	keys := make([]string, 0, len(opts.Params))
+	for k := range opts.Params {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if code := solver.Set(k, opts.Params[k]); code != OK {
+			return nil, fmt.Errorf("core: session set %s=%s: %w", k, opts.Params[k], Check(code))
+		}
+	}
+	s.rec.SetLabel("backend", info.Name)
+	return s, nil
+}
+
+// Backend returns the descriptor of the backend this session drives.
+func (s *Session) Backend() BackendInfo { return s.info }
+
+// Solver exposes the underlying component for interface extensions the
+// Session does not wrap (VBR/FEM staging, typed parameter setters).
+func (s *Session) Solver() SparseSolver { return s.solver }
+
+// SetTimeout replaces the per-solve deadline; zero disables it.
+func (s *Session) SetTimeout(d time.Duration) { s.timeout = d }
+
+// Set applies one LISI parameter.
+func (s *Session) Set(key, value string) error {
+	if err := s.usable(); err != nil {
+		return err
+	}
+	if code := s.solver.Set(key, value); code != OK {
+		return fmt.Errorf("core: session set %s=%s: %w", key, value, Check(code))
+	}
+	return nil
+}
+
+// SetMatrixFree hands a MatrixFree operator to the backend (nil reverts
+// to the assembled path).
+func (s *Session) SetMatrixFree(mf MatrixFree) error {
+	if err := s.usable(); err != nil {
+		return err
+	}
+	return Check(s.solver.SetMatrixFree(mf))
+}
+
+// Setup stages this rank's block of the matrix: l describes the
+// block-row partition and a holds the local rows with global column
+// indices. Repeated Setup calls stage a new system; the component's
+// matVer versioning decides how much previous factorization/operator
+// work is reusable.
+func (s *Session) Setup(l *pmat.Layout, a *sparse.CSR) error {
+	if err := s.usable(); err != nil {
+		return err
+	}
+	if l == nil || a == nil {
+		return fmt.Errorf("core: session Setup requires a layout and a local matrix")
+	}
+	steps := []func() int{
+		func() int { return s.solver.SetStartRow(l.Start) },
+		func() int { return s.solver.SetLocalRows(l.LocalN) },
+		func() int { return s.solver.SetLocalNNZ(a.NNZ()) },
+		func() int { return s.solver.SetGlobalCols(l.N) },
+		func() int {
+			return s.solver.SetupMatrix(a.Vals, a.RowPtr, a.ColInd, CSR, len(a.RowPtr), a.NNZ())
+		},
+	}
+	for _, step := range steps {
+		if code := step(); code != OK {
+			return Check(code)
+		}
+	}
+	s.layout = l
+	s.matStaged = true
+	return nil
+}
+
+// SetupOperator stages a matrix-free operator instead of an assembled
+// matrix: the distribution comes from l and operator application is
+// delegated to mf (paper §5.5).
+func (s *Session) SetupOperator(l *pmat.Layout, mf MatrixFree) error {
+	if err := s.usable(); err != nil {
+		return err
+	}
+	if l == nil || mf == nil {
+		return fmt.Errorf("core: session SetupOperator requires a layout and an operator")
+	}
+	steps := []func() int{
+		func() int { return s.solver.SetStartRow(l.Start) },
+		func() int { return s.solver.SetLocalRows(l.LocalN) },
+		func() int { return s.solver.SetGlobalCols(l.N) },
+		func() int { return s.solver.SetMatrixFree(mf) },
+	}
+	for _, step := range steps {
+		if code := step(); code != OK {
+			return Check(code)
+		}
+	}
+	s.layout = l
+	s.matStaged = true
+	return nil
+}
+
+// SetupRHS stages nRhs right-hand sides (numLocalRow values each,
+// back-to-back), as in §5.2c.
+func (s *Session) SetupRHS(b []float64, nRhs int) error {
+	if err := s.usable(); err != nil {
+		return err
+	}
+	if !s.matStaged {
+		return Check(ErrBadState)
+	}
+	if code := s.solver.SetupRHS(b, s.layout.LocalN, nRhs); code != OK {
+		return Check(code)
+	}
+	s.nRhs = nRhs
+	s.rhsStaged = true
+	return nil
+}
+
+// Solve solves the staged system into x (LocalN·nRhs values) under ctx
+// plus the session's per-solve timeout. On cancellation or deadline
+// expiry every rank's Solve returns a result with Aborted set and an
+// error wrapping the context cause; the abort is also recorded in
+// telemetry as PhaseAborted with an "abort_reason" label.
+func (s *Session) Solve(ctx context.Context, x []float64) (SolveResult, error) {
+	if err := s.usable(); err != nil {
+		return SolveResult{}, err
+	}
+	if !s.matStaged || !s.rhsStaged {
+		return SolveResult{}, Check(ErrBadState)
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if s.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.timeout)
+		defer cancel()
+	}
+	s.solves++
+	start := time.Now()
+	status := make([]float64, StatusLen)
+	code, abortCause := s.solveRecover(ctx, x, status)
+	if abortCause != nil {
+		s.dead = true
+		s.aborted++
+		reason := "canceled"
+		if errors.Is(abortCause, context.DeadlineExceeded) {
+			reason = "deadline_exceeded"
+		}
+		s.rec.AddPhase(telemetry.PhaseAborted, time.Since(start))
+		s.rec.Add("lisi.solves_aborted", 1)
+		s.rec.SetLabel("abort_reason", reason)
+		res := SolveResult{Aborted: true, AbortReason: reason}
+		return res, fmt.Errorf("%w: %w", Check(ErrAborted), abortCause)
+	}
+	res := SolveResult{
+		Iterations:     int(status[StatusIterations]),
+		Residual:       status[StatusResidual],
+		Converged:      status[StatusConverged] == 1,
+		Factorizations: int(status[StatusFactorizations]),
+	}
+	if code != OK {
+		return res, Check(code)
+	}
+	return res, nil
+}
+
+// solveRecover runs the backend's Solve with ctx bound to the
+// communicator, converting the comm layer's abort panic into a
+// cancellation cause. Any other panic propagates unchanged.
+func (s *Session) solveRecover(ctx context.Context, x, status []float64) (code int, abortCause error) {
+	defer func() {
+		if p := recover(); p != nil {
+			if p != comm.ErrAborted {
+				panic(p)
+			}
+			abortCause = s.c.World().Cause()
+			if abortCause == nil {
+				abortCause = comm.ErrAborted
+			}
+		}
+	}()
+	cc := s.c.WithContext(ctx)
+	if code := s.solver.Initialize(cc); code != OK {
+		return code, nil
+	}
+	code = s.solver.Solve(x, status, s.layout.LocalN, StatusLen)
+	// Rebind the context-free communicator so a later Solve does not
+	// inherit this call's (possibly expired) deadline.
+	if rc := s.solver.Initialize(s.c); rc != OK && code == OK {
+		code = rc
+	}
+	return code, nil
+}
+
+// Stats returns how many solves this session ran and how many aborted.
+func (s *Session) Stats() (solves, aborted int) { return s.solves, s.aborted }
+
+// Close ends the session. The component is released; further calls
+// return ErrSessionClosed. Close is idempotent.
+func (s *Session) Close() error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	s.solver = nil
+	return nil
+}
+
+func (s *Session) usable() error {
+	if s.closed {
+		return ErrSessionClosed
+	}
+	if s.dead {
+		return ErrSessionDead
+	}
+	return nil
+}

@@ -39,6 +39,11 @@ const (
 	// adapter format conversion, argument staging and dispatch — the
 	// quantity the paper's Table 1 reports as "overhead".
 	PhasePortOverhead Phase = "port_overhead"
+	// PhaseAborted is wall time lost to a solve that was cancelled (or
+	// timed out) before completing; the session layer records the reason
+	// under the "abort_reason" label and counts aborts in the
+	// "lisi.solves_aborted" counter.
+	PhaseAborted Phase = "aborted"
 )
 
 // ResidualPoint is one entry of a residual trace.

@@ -25,8 +25,9 @@ COUNT="${BENCH_COUNT:-3}"
 PKGS=(
   "./internal/sparse"
   "./internal/telemetry"
+  "./internal/core"
 )
-PATTERN='^(BenchmarkCOOToCSR|BenchmarkTranspose|BenchmarkMSRConversion|BenchmarkNilRecorderAdd|BenchmarkNilRecorderStartPhase|BenchmarkRecorderAdd|BenchmarkRecorderResidual)$'
+PATTERN='^(BenchmarkCOOToCSR|BenchmarkTranspose|BenchmarkMSRConversion|BenchmarkNilRecorderAdd|BenchmarkNilRecorderStartPhase|BenchmarkRecorderAdd|BenchmarkRecorderResidual|BenchmarkSessionReuseSolve)$'
 
 OUT="$(mktemp)"
 trap 'rm -f "$OUT"' EXIT
