@@ -28,11 +28,13 @@ const benchGrid = 60
 // BenchmarkFigure5 regenerates Figure 5's three panels: CCA vs NonCCA
 // execution time per solver component across processor counts.
 func BenchmarkFigure5(b *testing.B) {
+	b.ReportAllocs()
 	for _, solver := range bench.Solvers() {
 		for _, procs := range bench.PaperProcs() {
 			for _, path := range []string{"CCA", "NonCCA"} {
 				name := fmt.Sprintf("%s/p=%d/%s", solver, procs, path)
 				b.Run(name, func(b *testing.B) {
+					b.ReportAllocs()
 					var lastIters int
 					for i := 0; i < b.N; i++ {
 						var m bench.Measurement
@@ -58,6 +60,7 @@ func BenchmarkFigure5(b *testing.B) {
 // PETSc-role component with and without the LISI interface across
 // problem sizes, on the paper's 8 processors.
 func BenchmarkTable1(b *testing.B) {
+	b.ReportAllocs()
 	for _, nnz := range []int{12300, 49600} {
 		n, err := mesh.GridForNNZ(nnz)
 		if err != nil {
@@ -65,6 +68,7 @@ func BenchmarkTable1(b *testing.B) {
 		}
 		for _, path := range []string{"CCA", "NonCCA"} {
 			b.Run(fmt.Sprintf("nnz=%d/%s", nnz, path), func(b *testing.B) {
+				b.ReportAllocs()
 				var lastIters int
 				for i := 0; i < b.N; i++ {
 					var m bench.Measurement
@@ -90,6 +94,7 @@ func BenchmarkTable1(b *testing.B) {
 // them first (normal SIDL array semantics). The measured operation is
 // the full SetupMatrix staging path of the ksp component.
 func BenchmarkAblationRArray(b *testing.B) {
+	b.ReportAllocs()
 	p := mesh.PaperProblem(80) // nnz = 31,680
 	a, _, err := p.GenerateGlobal()
 	if err != nil {
@@ -101,6 +106,7 @@ func BenchmarkAblationRArray(b *testing.B) {
 	}
 	for _, mode := range []string{"rarray", "sidl-copy"} {
 		b.Run(mode, func(b *testing.B) {
+			b.ReportAllocs()
 			if err := w.Run(func(c *comm.Comm) {
 				s := core.NewKSPComponent()
 				s.Initialize(c)
@@ -130,6 +136,7 @@ func BenchmarkAblationRArray(b *testing.B) {
 // distribution parameters set once through dedicated methods versus
 // re-validated/re-passed before every data call.
 func BenchmarkAblationSeparatedSetters(b *testing.B) {
+	b.ReportAllocs()
 	p := mesh.PaperProblem(40)
 	a, bb, err := p.GenerateGlobal()
 	if err != nil {
@@ -141,6 +148,7 @@ func BenchmarkAblationSeparatedSetters(b *testing.B) {
 	}
 	for _, mode := range []string{"set-once", "per-call"} {
 		b.Run(mode, func(b *testing.B) {
+			b.ReportAllocs()
 			if err := w.Run(func(c *comm.Comm) {
 				s := core.NewKSPComponent()
 				s.Initialize(c)
@@ -173,11 +181,13 @@ func BenchmarkAblationSeparatedSetters(b *testing.B) {
 // dispatch versus calling the component directly — the per-call price of
 // the framework layer whose constancy Table 1 demonstrates.
 func BenchmarkAblationPortIndirection(b *testing.B) {
+	b.ReportAllocs()
 	w, err := comm.NewWorld(1)
 	if err != nil {
 		b.Fatal(err)
 	}
 	b.Run("through-port", func(b *testing.B) {
+		b.ReportAllocs()
 		if err := w.Run(func(c *comm.Comm) {
 			fw := cca.NewFramework(c)
 			if err := fw.CreateInstance("driver", core.ClassDriver); err != nil {
@@ -209,6 +219,7 @@ func BenchmarkAblationPortIndirection(b *testing.B) {
 		}
 	})
 	b.Run("direct", func(b *testing.B) {
+		b.ReportAllocs()
 		if err := w.Run(func(c *comm.Comm) {
 			s := core.NewKSPComponent()
 			s.Initialize(c)
@@ -228,6 +239,7 @@ func BenchmarkAblationPortIndirection(b *testing.B) {
 // extension (§5.2e): V-cycle multigrid against single-level GMRES+ILU on
 // the same problem and tolerance.
 func BenchmarkMultigridVsSingleLevel(b *testing.B) {
+	b.ReportAllocs()
 	const n = 63 // 2^6-1 coarsens fully
 	p := mesh.PaperProblem(n)
 	mgParams := map[string]string{"grid_n": fmt.Sprint(n), "tol": "1e-6"}
@@ -254,11 +266,13 @@ func BenchmarkMultigridVsSingleLevel(b *testing.B) {
 		}
 	}
 	b.Run("multigrid", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			runOne(b, core.ClassMGSolver, mgParams)
 		}
 	})
 	b.Run("gmres-ilu", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			runOne(b, core.ClassKSPSolver, bench.DefaultParams())
 		}

@@ -97,6 +97,7 @@ func Analyzers() []*Analyzer {
 		FloatEq,
 		TelemetryRecorder,
 		CtxComm,
+		HotAlloc,
 	}
 }
 

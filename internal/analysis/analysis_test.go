@@ -157,6 +157,11 @@ func TestCtxCommFixture(t *testing.T) {
 		fixtureRoot+"/ctxcomm/ksp", fixtureRoot+"/ctxcomm/outofscope")
 }
 
+func TestHotAllocFixture(t *testing.T) {
+	runFixture(t, "hotalloc", analysis.Options{},
+		fixtureRoot+"/hotalloc/ksp", fixtureRoot+"/hotalloc/outofscope")
+}
+
 // TestMalformedSuppression: ignores without a reason or naming an unknown
 // analyzer are themselves findings.
 func TestMalformedSuppression(t *testing.T) {

@@ -1,0 +1,99 @@
+// Fixture for the hotalloc analyzer. The package's path ends in "ksp",
+// one of the solver backend packages the check applies to: loops here
+// that apply the operator or join a collective are solver iteration
+// loops and must not allocate per pass.
+package ksp
+
+import "repro/internal/comm"
+
+// op stands in for the operator hot path: the analyzer keys off the
+// callee name (Apply), not the concrete type.
+type op struct{}
+
+func (op) Apply(y, x []float64) {
+	for i := range y {
+		y[i] = 2 * x[i]
+	}
+}
+
+// dot mirrors the ksp reduction wrappers: lower-case hot names count.
+func dot(x, y []float64) float64 {
+	s := 0.0
+	for i := range x {
+		s += x[i] * y[i]
+	}
+	return s
+}
+
+// makePerIteration is the canonical finding: a fresh scratch vector on
+// every Krylov iteration.
+func makePerIteration(a op, x []float64, maxIts int) {
+	for it := 0; it < maxIts; it++ {
+		t := make([]float64, len(x)) // want "make\\(\\) inside a solver iteration loop \\(hot call a.Apply\\)"
+		a.Apply(t, x)
+	}
+}
+
+// appendGrowth grows a residual history inside a loop that joins a
+// collective every pass.
+func appendGrowth(c *comm.Comm, r []float64, maxIts int) []float64 {
+	var hist []float64
+	for it := 0; it < maxIts; it++ {
+		rn := c.AllReduceFloat64(dot(r, r), comm.OpSum)
+		hist = append(hist, rn) // want "append growth of hist inside a solver iteration loop \\(hot call Comm.AllReduceFloat64\\)"
+	}
+	return hist
+}
+
+// nestedLoop: the make sits in an inner cold loop, but the outer loop
+// is hot, so the allocation still happens once per outer iteration.
+func nestedLoop(a op, x []float64, maxIts int) {
+	for it := 0; it < maxIts; it++ {
+		a.Apply(x, x)
+		for j := 0; j < 3; j++ {
+			s := make([]float64, len(x)) // want "make\\(\\) inside a solver iteration loop \\(hot call a.Apply\\)"
+			copy(s, x)
+		}
+	}
+}
+
+// workspaceSetup is the supported idiom the analyzer must not flag: the
+// loop only builds workspaces — no operator application, no collective
+// — so it runs once per configuration, not per iteration.
+func workspaceSetup(n, count int) [][]float64 {
+	var vecs [][]float64
+	for len(vecs) < count {
+		vecs = append(vecs, make([]float64, n))
+	}
+	return vecs
+}
+
+// reuseAppend keeps capacity with the x[:0] idiom: not a growth append,
+// even inside a hot loop.
+func reuseAppend(a op, x, src []float64, maxIts int) {
+	buf := make([]float64, 0, len(src))
+	for it := 0; it < maxIts; it++ {
+		a.Apply(x, x)
+		buf = append(buf[:0], src...)
+		_ = buf
+	}
+}
+
+// hoisted is the fix the diagnostic asks for: the buffer outlives the
+// loop.
+func hoisted(a op, x []float64, maxIts int) {
+	t := make([]float64, len(x))
+	for it := 0; it < maxIts; it++ {
+		a.Apply(t, x)
+	}
+}
+
+// suppressed shows the per-site escape hatch for a deliberate
+// per-iteration allocation.
+func suppressed(a op, x []float64, maxIts int) {
+	for it := 0; it < maxIts; it++ {
+		//lisi:ignore hotalloc snapshot escapes the loop, one copy per iteration is the point
+		snap := make([]float64, len(x))
+		a.Apply(snap, x)
+	}
+}

@@ -1,0 +1,18 @@
+// Fixture for the hotalloc analyzer: this package's path does not end
+// in a solver backend segment (ksp, aztec, mg), so even a textbook
+// per-iteration allocation in a hot loop is out of scope — utility and
+// test-support packages are allowed to trade allocations for clarity.
+package outofscope
+
+type op struct{}
+
+func (op) Apply(y, x []float64) {
+	copy(y, x)
+}
+
+func makePerIterationElsewhere(a op, x []float64, maxIts int) {
+	for it := 0; it < maxIts; it++ {
+		t := make([]float64, len(x)) // no finding: package out of scope
+		a.Apply(t, x)
+	}
+}

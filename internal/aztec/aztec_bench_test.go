@@ -12,9 +12,11 @@ import (
 // tolerances (the AZDrop/AZIlutFill parameter space of the Trilinos-role
 // component).
 func BenchmarkILUT(b *testing.B) {
+	b.ReportAllocs()
 	a := sparse.Laplace2D(60, 60)
 	for _, drop := range []float64{0, 0.001, 0.01} {
 		b.Run(fmt.Sprintf("drop=%g", drop), func(b *testing.B) {
+			b.ReportAllocs()
 			var nnz int
 			for i := 0; i < b.N; i++ {
 				f, err := NewILUT(a, drop, 3)
@@ -31,6 +33,7 @@ func BenchmarkILUT(b *testing.B) {
 // BenchmarkAztecSolvers measures one full Iterate per AZ solver at fixed
 // tolerance.
 func BenchmarkAztecSolvers(b *testing.B) {
+	b.ReportAllocs()
 	global := sparse.Laplace2D(40, 40)
 	w, err := comm.NewWorld(2)
 	if err != nil {
@@ -40,6 +43,7 @@ func BenchmarkAztecSolvers(b *testing.B) {
 		"cg": AZCG, "gmres": AZGMRES, "cgs": AZCGS, "bicgstab": AZBiCGStab,
 	} {
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			if err := w.Run(func(c *comm.Comm) {
 				crs := buildCrs(c, global)
 				l := crs.RowMap().Layout()
@@ -69,6 +73,7 @@ func BenchmarkAztecSolvers(b *testing.B) {
 
 // BenchmarkFillComplete measures assembly freezing (plan construction).
 func BenchmarkFillComplete(b *testing.B) {
+	b.ReportAllocs()
 	global := sparse.Laplace2D(50, 50)
 	w, err := comm.NewWorld(4)
 	if err != nil {

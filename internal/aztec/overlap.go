@@ -30,6 +30,7 @@ type overlapSchwarz struct {
 	// needs; recvPeers lists the peers I borrow from, in ascending row
 	// order, with counts (their rows are contiguous in [lo2,hi2)).
 	sendIdx   [][]int
+	sendBuf   [][]float64 // per-peer staging, sized with sendIdx at setup
 	recvPeers []int
 	recvCnt   []int
 
@@ -174,6 +175,12 @@ func newOverlapSchwarz(rm RowMatrix, overlap int, drop, fill float64) (*overlapS
 	o.f = f
 	o.rhsExt = make([]float64, hi2-lo2)
 	o.solExt = make([]float64, hi2-lo2)
+	o.sendBuf = make([][]float64, len(o.sendIdx))
+	for r, idx := range o.sendIdx {
+		if len(idx) > 0 {
+			o.sendBuf[r] = make([]float64, len(idx))
+		}
+	}
 	return o, nil
 }
 
@@ -182,33 +189,35 @@ func newOverlapSchwarz(rm RowMatrix, overlap int, drop, fill float64) (*overlapS
 func (o *overlapSchwarz) apply(z, r []float64) {
 	c := o.m.Comm()
 	l := o.m.Layout()
-	// Serve peers first (sends never block).
-	var buf []float64
+	// Serve peers first (sends never block). The payload rides a pooled
+	// buffer so steady-state applies allocate nothing.
 	for peer, idx := range o.sendIdx {
 		if len(idx) == 0 {
 			continue
 		}
-		buf = buf[:0]
-		for _, li := range idx {
-			buf = append(buf, r[li])
+		buf := o.sendBuf[peer]
+		for k, li := range idx {
+			buf[k] = r[li]
 		}
-		c.SendFloat64s(peer, tagOvResid, buf)
+		c.SendFloat64sPooled(peer, tagOvResid, buf)
 	}
-	// Assemble the extended residual: [left overlap | local | right].
+	// Assemble the extended residual: [left overlap | local | right],
+	// receiving straight into the destination segments.
 	copy(o.rhsExt[l.Start-o.lo2:], r)
 	cursorLeft := 0
 	cursorRight := l.Start + l.LocalN - o.lo2
 	for i, peer := range o.recvPeers {
-		vals, _ := c.RecvFloat64s(peer, tagOvResid)
-		if len(vals) != o.recvCnt[i] {
-			panic(fmt.Sprintf("aztec: overlap residual exchange: got %d values from %d, want %d", len(vals), peer, o.recvCnt[i]))
-		}
+		cnt := o.recvCnt[i]
+		var dst []float64
 		if peer < c.Rank() {
-			copy(o.rhsExt[cursorLeft:], vals)
-			cursorLeft += len(vals)
+			dst = o.rhsExt[cursorLeft : cursorLeft+cnt]
+			cursorLeft += cnt
 		} else {
-			copy(o.rhsExt[cursorRight:], vals)
-			cursorRight += len(vals)
+			dst = o.rhsExt[cursorRight : cursorRight+cnt]
+			cursorRight += cnt
+		}
+		if got, _ := c.RecvFloat64sInto(dst, peer, tagOvResid); got != cnt {
+			panic(fmt.Sprintf("aztec: overlap residual exchange: got %d values from %d, want %d", got, peer, cnt))
 		}
 	}
 	o.f.Solve(o.solExt, o.rhsExt)

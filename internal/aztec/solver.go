@@ -27,6 +27,15 @@ type Solver struct {
 	scale []float64 // row scaling (nil when disabled)
 	out   io.Writer // destination for AZOutput monitoring (default stdout)
 	rec   *telemetry.Recorder
+
+	// Steady-state reuse: the preconditioner (and row scaling) are cached
+	// across solves and rebuilt only when the operator is re-set or the
+	// option/parameter arrays change (precOpts/precParams hold the
+	// snapshot they were built for); ws and bb are persistent scratch.
+	precOpts   []int
+	precParams []float64
+	bb         []float64
+	ws         azWorkspace
 }
 
 // NewSolver creates a solver with default options and parameters.
@@ -69,6 +78,7 @@ func (s *Solver) monitor(it int, rnorm float64) {
 func (s *Solver) SetUserMatrix(m RowMatrix) {
 	s.op = m
 	s.rm = m
+	s.prec = nil // new operator: drop the cached preconditioner
 }
 
 // SetUserOperator supplies a matrix-free operator; only AZNone
@@ -76,6 +86,7 @@ func (s *Solver) SetUserMatrix(m RowMatrix) {
 func (s *Solver) SetUserOperator(op Operator) {
 	s.op = op
 	s.rm = nil
+	s.prec = nil // new operator: drop the cached preconditioner
 }
 
 // SetOption sets one slot of the options array.
@@ -133,33 +144,46 @@ func (s *Solver) Solve(x, b []float64) error {
 		s.status[i] = 0
 	}
 
-	// Row scaling: replace the system by (S·A)x = S·b.
-	bb := b
-	if s.options[AZScaling] == AZRowSum {
-		if s.rm == nil {
-			return fmt.Errorf("aztec: AZRowSum scaling requires a RowMatrix")
+	// Row scaling ((S·A)x = S·b) and the preconditioner are rebuilt only
+	// when the operator was re-set (prec dropped) or when the option or
+	// parameter arrays differ from the snapshot they were last built for.
+	if s.prec == nil || !intsEqual(s.precOpts, s.options) || !floatsEqual(s.precParams, s.params) {
+		if s.options[AZScaling] == AZRowSum {
+			if s.rm == nil {
+				return fmt.Errorf("aztec: AZRowSum scaling requires a RowMatrix")
+			}
+			scale, err := rowSumScale(s.rm)
+			if err != nil {
+				return err
+			}
+			s.scale = scale
+		} else {
+			s.scale = nil
 		}
-		scale, err := rowSumScale(s.rm)
+		stopPC := s.rec.StartPhase(telemetry.PhasePrecond)
+		prec, err := s.buildPreconditioner()
+		stopPC()
 		if err != nil {
+			s.prec = nil
+			s.status[AZWhy] = AZIllCond
 			return err
 		}
-		s.scale = scale
-		bb = make([]float64, n)
-		for i := range bb {
-			bb[i] = b[i] * scale[i]
+		s.prec = prec
+		s.precOpts = append(s.precOpts[:0], s.options...)
+		s.precParams = append(s.precParams[:0], s.params...)
+	}
+	bb := b
+	if s.scale != nil {
+		if cap(s.bb) < n {
+			s.bb = make([]float64, n)
 		}
-	} else {
-		s.scale = nil
+		bb = s.bb[:n]
+		for i := range bb {
+			bb[i] = b[i] * s.scale[i]
+		}
 	}
 
-	stopPC := s.rec.StartPhase(telemetry.PhasePrecond)
 	var err error
-	s.prec, err = s.buildPreconditioner()
-	stopPC()
-	if err != nil {
-		s.status[AZWhy] = AZIllCond
-		return err
-	}
 
 	defer s.rec.StartPhase(telemetry.PhaseIterate)()
 	switch s.options[AZSolver] {
@@ -311,32 +335,61 @@ func (s *Solver) finish(its int, rnorm, denom float64, why int) {
 	}
 }
 
+// intsEqual / floatsEqual compare option/parameter snapshots without
+// allocating (a NaN parameter never compares equal, which only costs a
+// spurious rebuild).
+func intsEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func floatsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		//lisi:ignore floateq exact snapshot identity is the point; a NaN param only costs a spurious rebuild
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // ---- Krylov methods (left-preconditioned, aztec-style bookkeeping) ----
 
-func (s *Solver) initialResidual(x, b, r []float64) float64 {
+// localResidual computes r = b − A·x without any reduction (the norm is
+// taken by the caller, fused with the other startup reductions).
+func (s *Solver) localResidual(x, b, r []float64) {
 	s.applyA(r, x)
 	for i := range r {
 		r[i] = b[i] - r[i]
 	}
-	return pmat.Norm2(s.c, r)
 }
 
 func (s *Solver) cg(x, b []float64) error {
 	n := len(x)
-	r := make([]float64, n)
-	z := make([]float64, n)
-	p := make([]float64, n)
-	q := make([]float64, n)
-	r0 := s.initialResidual(x, b, r)
-	denom := s.convDenominator(r0, pmat.Norm2(s.c, b))
+	w := s.wsVecs(n, 4)
+	r, z, p, q := w[0], w[1], w[2], w[3]
+	s.localResidual(x, b, r)
+	s.prec.apply(z, r)
+	// One AllReduce covers the initial residual norm, the rhs norm for
+	// the convergence denominator, and the first r·z.
+	r0, bnorm, rz := s.fusedNorm2x2Dot(r, b, r, z)
+	denom := s.convDenominator(r0, bnorm)
 	tol := s.params[AZTol]
 	if r0/denom <= tol {
 		s.finish(0, r0, denom, AZNormal)
 		return nil
 	}
-	s.prec.apply(z, r)
 	copy(p, z)
-	rz := pmat.Dot(s.c, r, z)
 	for it := 1; it <= s.options[AZMaxIter]; it++ {
 		s.applyA(q, p)
 		pq := pmat.Dot(s.c, p, q)
@@ -347,14 +400,16 @@ func (s *Solver) cg(x, b []float64) error {
 		alpha := rz / pq
 		sparse.Axpy(alpha, p, x)
 		sparse.Axpy(-alpha, q, r)
-		rnorm := pmat.Norm2(s.c, r)
+		// The preconditioner is applied before the convergence test so
+		// the residual norm and r·z share one AllReduce (one extra local
+		// PC apply on the final iteration, no value changes).
+		s.prec.apply(z, r)
+		rnorm, rzNew := s.fusedNormDot(r, z)
 		s.monitor(it, rnorm)
 		if rnorm/denom <= tol {
 			s.finish(it, rnorm, denom, AZNormal)
 			return nil
 		}
-		s.prec.apply(z, r)
-		rzNew := pmat.Dot(s.c, r, z)
 		beta := rzNew / rz
 		rz = rzNew
 		for i := range p {
@@ -371,20 +426,13 @@ func (s *Solver) gmres(x, b []float64) error {
 	tol := s.params[AZTol]
 	maxIter := s.options[AZMaxIter]
 
-	v := make([][]float64, m+1)
-	for i := range v {
-		v[i] = make([]float64, n)
-	}
-	h := make([]float64, (m+1)*m) // h[i*m+j]
-	g := make([]float64, m+1)
-	cs := make([]float64, m)
-	sn := make([]float64, m)
-	w := make([]float64, n)
-	t := make([]float64, n)
+	ws := s.wsKrylov(n, m)
+	v, h, g, cs, sn := ws.v, ws.h, ws.g, ws.cs, ws.sn // h[i*m+j]
+	scratch := s.wsVecs(n, 2)
+	w, t := scratch[0], scratch[1]
 
 	r0 := -1.0
 	var denom float64
-	bnorm := pmat.Norm2(s.c, b)
 	it := 0
 	for {
 		s.applyA(t, x)
@@ -392,10 +440,16 @@ func (s *Solver) gmres(x, b []float64) error {
 			t[i] = b[i] - t[i]
 		}
 		s.prec.apply(w, t)
-		beta := pmat.Norm2(s.c, w)
+		var beta float64
 		if r0 < 0 {
+			// First restart: fuse the rhs norm for the convergence
+			// denominator with the initial preconditioned residual norm.
+			var bnorm float64
+			beta, bnorm = s.fusedNorm2x2(w, b)
 			r0 = beta
 			denom = s.convDenominator(r0, bnorm)
+		} else {
+			beta = pmat.Norm2(s.c, w)
 		}
 		if beta/denom <= tol {
 			s.finish(it, beta, denom, AZNormal)
@@ -427,6 +481,12 @@ func (s *Solver) gmres(x, b []float64) error {
 				for i := range w {
 					v[j+1][i] = w[i] / hj1
 				}
+			} else {
+				// Breakdown: deterministic zero direction instead of
+				// whatever a previous restart or solve left here.
+				for i := range v[j+1] {
+					v[j+1][i] = 0
+				}
 			}
 			// Givens updates.
 			for i := 0; i < j; i++ {
@@ -450,7 +510,7 @@ func (s *Solver) gmres(x, b []float64) error {
 			}
 		}
 		// Back substitution and update.
-		y := make([]float64, j)
+		y := ws.y[:j]
 		for i := j - 1; i >= 0; i-- {
 			sum := g[i]
 			for k2 := i + 1; k2 < j; k2++ {
@@ -458,6 +518,8 @@ func (s *Solver) gmres(x, b []float64) error {
 			}
 			if h[i*m+i] != 0 {
 				y[i] = sum / h[i*m+i]
+			} else {
+				y[i] = 0 // singular block: skip this direction
 			}
 		}
 		for k2 := 0; k2 < j; k2++ {
@@ -469,27 +531,25 @@ func (s *Solver) gmres(x, b []float64) error {
 func (s *Solver) cgs(x, b []float64) error {
 	// Sonneveld's conjugate gradient squared.
 	n := len(x)
-	r := make([]float64, n)
-	rtld := make([]float64, n)
-	p := make([]float64, n)
-	q := make([]float64, n)
-	u := make([]float64, n)
-	uhat := make([]float64, n)
-	vhat := make([]float64, n)
-	qhat := make([]float64, n)
-	t := make([]float64, n)
+	ws := s.wsVecs(n, 9)
+	r, rtld, p, q := ws[0], ws[1], ws[2], ws[3]
+	u, uhat, vhat, qhat, t := ws[4], ws[5], ws[6], ws[7], ws[8]
 
-	r0 := s.initialResidual(x, b, r)
-	denom := s.convDenominator(r0, pmat.Norm2(s.c, b))
+	s.localResidual(x, b, r)
+	copy(rtld, r)
+	// One AllReduce covers the initial residual norm, the rhs norm, and
+	// the first ρ = r̃·r; the tail of each iteration fuses the residual
+	// norm with the next ρ the same way.
+	r0, bnorm, rhoNext := s.fusedNorm2x2Dot(r, b, rtld, r)
+	denom := s.convDenominator(r0, bnorm)
 	tol := s.params[AZTol]
 	if r0/denom <= tol {
 		s.finish(0, r0, denom, AZNormal)
 		return nil
 	}
-	copy(rtld, r)
 	var rho, rhoOld float64
 	for it := 1; it <= s.options[AZMaxIter]; it++ {
-		rho = pmat.Dot(s.c, rtld, r)
+		rho = rhoNext
 		if rho == 0 {
 			s.finish(it, pmat.Norm2(s.c, r), denom, AZBreakdown)
 			return nil
@@ -523,7 +583,8 @@ func (s *Solver) cgs(x, b []float64) error {
 		s.applyA(t, qhat)
 		sparse.Axpy(-alpha, t, r)
 		rhoOld = rho
-		rnorm := pmat.Norm2(s.c, r)
+		var rnorm float64
+		rnorm, rhoNext = s.fusedNormDot(r, rtld)
 		s.monitor(it, rnorm)
 		if rnorm/denom <= tol {
 			s.finish(it, rnorm, denom, AZNormal)
@@ -540,26 +601,25 @@ func (s *Solver) cgs(x, b []float64) error {
 
 func (s *Solver) bicgstab(x, b []float64) error {
 	n := len(x)
-	r := make([]float64, n)
-	rtld := make([]float64, n)
-	p := make([]float64, n)
-	v := make([]float64, n)
-	ss := make([]float64, n)
-	t := make([]float64, n)
-	phat := make([]float64, n)
-	shat := make([]float64, n)
+	ws := s.wsVecs(n, 8)
+	r, rtld, p, v := ws[0], ws[1], ws[2], ws[3]
+	ss, t, phat, shat := ws[4], ws[5], ws[6], ws[7]
 
-	r0 := s.initialResidual(x, b, r)
-	denom := s.convDenominator(r0, pmat.Norm2(s.c, b))
+	s.localResidual(x, b, r)
+	copy(rtld, r)
+	// Fused startup: initial residual norm, rhs norm, and the first
+	// ρ = r̃·r in one AllReduce; each iteration's tail fuses the residual
+	// norm with the next ρ.
+	r0, bnorm, rhoNext := s.fusedNorm2x2Dot(r, b, rtld, r)
+	denom := s.convDenominator(r0, bnorm)
 	tol := s.params[AZTol]
 	if r0/denom <= tol {
 		s.finish(0, r0, denom, AZNormal)
 		return nil
 	}
-	copy(rtld, r)
 	rho, alpha, omega := 1.0, 1.0, 1.0
 	for it := 1; it <= s.options[AZMaxIter]; it++ {
-		rhoNew := pmat.Dot(s.c, rtld, r)
+		rhoNew := rhoNext
 		if rhoNew == 0 {
 			s.finish(it, pmat.Norm2(s.c, r), denom, AZBreakdown)
 			return nil
@@ -592,12 +652,12 @@ func (s *Solver) bicgstab(x, b []float64) error {
 		}
 		s.prec.apply(shat, ss)
 		s.applyA(t, shat)
-		tt := pmat.Dot(s.c, t, t)
+		tt, ts := s.fusedDot2(t, t, t, ss)
 		if tt == 0 {
 			s.finish(it, snorm, denom, AZBreakdown)
 			return nil
 		}
-		omega = pmat.Dot(s.c, t, ss) / tt
+		omega = ts / tt
 		if omega == 0 {
 			s.finish(it, snorm, denom, AZBreakdown)
 			return nil
@@ -608,7 +668,8 @@ func (s *Solver) bicgstab(x, b []float64) error {
 		for i := range r {
 			r[i] = ss[i] - omega*t[i]
 		}
-		rnorm := pmat.Norm2(s.c, r)
+		var rnorm float64
+		rnorm, rhoNext = s.fusedNormDot(r, rtld)
 		s.monitor(it, rnorm)
 		if rnorm/denom <= tol {
 			s.finish(it, rnorm, denom, AZNormal)

@@ -16,19 +16,32 @@ const (
 )
 
 // barrier is a reusable (cyclic) barrier for a fixed number of
-// participants. Each generation has a gate channel that the last arrival
-// closes; waiters select on the gate, the world's abort channel and the
-// caller's context, so a blocked rank can always be released.
+// participants. Release is by tokens on one of two pre-allocated buffered
+// channels (selected by generation parity) rather than by closing and
+// re-making a gate channel per generation: the last arrival of a
+// generation deposits parties−1 tokens, each waiter consumes one, and the
+// steady-state path performs no allocation at all. Waiters select on the
+// token channel, the world's abort channel and the caller's context, so a
+// blocked rank can always be released.
+//
+// Parity reuse is safe: a rank cannot enter generation g+2 before every
+// rank has entered generation g+1, and a rank only enters g+1 after
+// consuming its generation-g token, so channel tokens[g%2] is drained
+// before generation g+2 begins refilling it.
 type barrier struct {
 	mu      sync.Mutex
 	parties int
 	waiting int
-	gate    chan struct{} // closed when the current generation completes
+	gen     uint
+	tokens  [2]chan struct{}
 	abortCh chan struct{}
 }
 
 func newBarrier(parties int, abortCh chan struct{}) *barrier {
-	return &barrier{parties: parties, abortCh: abortCh, gate: make(chan struct{})}
+	b := &barrier{parties: parties, abortCh: abortCh}
+	b.tokens[0] = make(chan struct{}, parties)
+	b.tokens[1] = make(chan struct{}, parties)
+	return b
 }
 
 // await blocks until all parties of the current generation have entered,
@@ -44,15 +57,18 @@ func (b *barrier) await(done <-chan struct{}) awaitResult {
 	b.waiting++
 	if b.waiting == b.parties {
 		b.waiting = 0
-		close(b.gate)
-		b.gate = make(chan struct{})
+		t := b.tokens[b.gen%2]
+		b.gen++
 		b.mu.Unlock()
+		for i := 0; i < b.parties-1; i++ {
+			t <- struct{}{} // buffered to parties: never blocks
+		}
 		return awaitOK
 	}
-	gate := b.gate
+	t := b.tokens[b.gen%2]
 	b.mu.Unlock()
 	select {
-	case <-gate:
+	case <-t:
 		return awaitOK
 	case <-b.abortCh:
 		return awaitAborted

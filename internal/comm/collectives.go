@@ -119,54 +119,123 @@ func (c *Comm) AllGatherInt(x int) []int {
 
 // AllGatherVFloat64s gathers variable-length contributions and returns
 // their concatenation in rank order (as MPI_Allgatherv would produce).
+// The fill is single-pass: each peer's slot is copied straight into its
+// segment of the result, with no intermediate per-rank copies.
 func (c *Comm) AllGatherVFloat64s(x []float64) []float64 {
-	parts := c.AllGatherFloat64s(x)
-	n := 0
-	for _, p := range parts {
-		n += len(p)
+	return c.AllGatherVFloat64sInto(nil, x)
+}
+
+// AllGatherVFloat64sInto is AllGatherVFloat64s reusing dst as the result
+// buffer: the concatenation is written into dst (grown only when its
+// capacity is insufficient) and returned. Zero allocations once dst has
+// reached steady-state capacity. dst must not alias x.
+func (c *Comm) AllGatherVFloat64sInto(dst, x []float64) []float64 {
+	w := c.w
+	w.stats[c.rank].collectives.Add(1)
+	w.slots[c.rank].fs = x
+	c.Barrier()
+	total := 0
+	for r := 0; r < w.size; r++ {
+		total += len(w.slots[r].fs)
 	}
-	out := make([]float64, 0, n)
-	for _, p := range parts {
-		out = append(out, p...)
+	if cap(dst) < total {
+		dst = make([]float64, total)
 	}
-	return out
+	dst = dst[:total]
+	off := 0
+	for r := 0; r < w.size; r++ {
+		off += copy(dst[off:], w.slots[r].fs)
+	}
+	c.Barrier()
+	w.slots[c.rank].fs = nil
+	return dst
 }
 
 // AllGatherVInts gathers variable-length []int contributions concatenated
-// in rank order.
+// in rank order, with a single-pass fill.
 func (c *Comm) AllGatherVInts(x []int) []int {
-	parts := c.AllGatherInts(x)
-	n := 0
-	for _, p := range parts {
-		n += len(p)
+	w := c.w
+	w.stats[c.rank].collectives.Add(1)
+	w.slots[c.rank].is = x
+	c.Barrier()
+	total := 0
+	for r := 0; r < w.size; r++ {
+		total += len(w.slots[r].is)
 	}
-	out := make([]int, 0, n)
-	for _, p := range parts {
-		out = append(out, p...)
+	out := make([]int, total)
+	off := 0
+	for r := 0; r < w.size; r++ {
+		off += copy(out[off:], w.slots[r].is)
 	}
+	c.Barrier()
+	w.slots[c.rank].is = nil
 	return out
 }
 
 // AllReduceFloat64 combines one float64 per rank with op; every rank
 // receives the result. The fold is performed in rank order on every rank,
-// so the result is deterministic and identical across ranks.
+// so the result is deterministic and identical across ranks. Posts go
+// through the typed slots, so no allocation occurs.
 func (c *Comm) AllReduceFloat64(x float64, op Op) float64 {
-	all := c.exchange(x)
-	acc := all[0].(float64)
-	for _, a := range all[1:] {
-		acc = op.foldFloat64(acc, a.(float64))
+	w := c.w
+	w.stats[c.rank].collectives.Add(1)
+	w.slots[c.rank].f = x
+	c.Barrier()
+	acc := w.slots[0].f
+	for r := 1; r < w.size; r++ {
+		acc = op.foldFloat64(acc, w.slots[r].f)
 	}
+	c.Barrier()
 	return acc
 }
 
-// AllReduceInt combines one int per rank with op on every rank.
+// AllReduceInt combines one int per rank with op on every rank, without
+// allocating.
 func (c *Comm) AllReduceInt(x int, op Op) int {
-	all := c.exchange(x)
-	acc := all[0].(int)
-	for _, a := range all[1:] {
-		acc = op.foldInt(acc, a.(int))
+	w := c.w
+	w.stats[c.rank].collectives.Add(1)
+	w.slots[c.rank].i = x
+	c.Barrier()
+	acc := w.slots[0].i
+	for r := 1; r < w.size; r++ {
+		acc = op.foldInt(acc, w.slots[r].i)
 	}
+	c.Barrier()
 	return acc
+}
+
+// AllReduceFloat64sInPlace element-wise reduces equal-length vectors
+// across ranks, overwriting x with the result on every rank. The fold is
+// performed in rank order (same order as AllReduceFloat64s and, element
+// by element, the same float operation order as a sequence of scalar
+// AllReduceFloat64 calls — so fusing independent scalar reductions into
+// one short vector is bitwise-neutral). x is posted to peers until the
+// closing barrier, then overwritten from rank-private scratch; nothing
+// allocates in steady state.
+func (c *Comm) AllReduceFloat64sInPlace(x []float64, op Op) {
+	w := c.w
+	w.stats[c.rank].collectives.Add(1)
+	w.slots[c.rank].fs = x
+	c.Barrier()
+	tmp := w.redScratch(c.rank, len(x))
+	if len(w.slots[0].fs) != len(x) {
+		panic(fmt.Sprintf("comm: AllReduceFloat64sInPlace length mismatch: rank %d has %d, rank 0 has %d", c.rank, len(x), len(w.slots[0].fs)))
+	}
+	copy(tmp, w.slots[0].fs)
+	for r := 1; r < w.size; r++ {
+		v := w.slots[r].fs
+		if len(v) != len(x) {
+			panic(fmt.Sprintf("comm: AllReduceFloat64sInPlace length mismatch: rank %d has %d, rank %d has %d", c.rank, len(x), r, len(v)))
+		}
+		for i := range tmp {
+			tmp[i] = op.foldFloat64(tmp[i], v[i])
+		}
+	}
+	// Peers read x only between the two barriers; writing it back after
+	// the closing barrier is race-free.
+	c.Barrier()
+	copy(x, tmp)
+	w.slots[c.rank].fs = nil
 }
 
 // AllReduceFloat64s element-wise reduces equal-length vectors across ranks.
@@ -200,6 +269,30 @@ func (c *Comm) BcastFloat64s(root int, x []float64) []float64 {
 	out := make([]float64, len(src))
 	copy(out, src)
 	return out
+}
+
+// BcastFloat64sInto broadcasts root's buf into every rank's buf (an
+// MPI_Bcast: the same argument is the source on root and the destination
+// elsewhere). All ranks must pass equal-length buffers. No allocation.
+func (c *Comm) BcastFloat64sInto(root int, buf []float64) {
+	c.checkPeer(root)
+	w := c.w
+	w.stats[c.rank].collectives.Add(1)
+	if c.rank == root {
+		w.slots[c.rank].fs = buf
+	}
+	c.Barrier()
+	if c.rank != root {
+		src := w.slots[root].fs
+		if len(src) != len(buf) {
+			panic(fmt.Sprintf("comm: BcastFloat64sInto length mismatch: root has %d, rank %d has %d", len(src), c.rank, len(buf)))
+		}
+		copy(buf, src)
+	}
+	c.Barrier()
+	if c.rank == root {
+		w.slots[c.rank].fs = nil
+	}
 }
 
 // BcastInts broadcasts root's []int.
@@ -250,37 +343,73 @@ func (c *Comm) GatherFloat64s(root int, x []float64) [][]float64 {
 // GatherVFloat64s gathers variable-length slices at root, concatenated in
 // rank order. Non-root ranks receive nil.
 func (c *Comm) GatherVFloat64s(root int, x []float64) []float64 {
-	parts := c.GatherFloat64s(root, x)
-	if parts == nil {
+	return c.GatherVFloat64sInto(root, nil, x)
+}
+
+// GatherVFloat64sInto is GatherVFloat64s writing root's concatenated
+// result into dst (grown only when too small) and returning it; non-root
+// ranks receive nil and may pass nil dst. Single-pass, allocation-free at
+// steady-state capacity.
+func (c *Comm) GatherVFloat64sInto(root int, dst, x []float64) []float64 {
+	c.checkPeer(root)
+	w := c.w
+	w.stats[c.rank].collectives.Add(1)
+	w.slots[c.rank].fs = x
+	c.Barrier()
+	if c.rank == root {
+		total := 0
+		for r := 0; r < w.size; r++ {
+			total += len(w.slots[r].fs)
+		}
+		if cap(dst) < total {
+			dst = make([]float64, total)
+		}
+		dst = dst[:total]
+		off := 0
+		for r := 0; r < w.size; r++ {
+			off += copy(dst[off:], w.slots[r].fs)
+		}
+	}
+	c.Barrier()
+	w.slots[c.rank].fs = nil
+	if c.rank != root {
 		return nil
 	}
-	n := 0
-	for _, p := range parts {
-		n += len(p)
-	}
-	out := make([]float64, 0, n)
-	for _, p := range parts {
-		out = append(out, p...)
-	}
-	return out
+	return dst
 }
 
 // ScatterVFloat64s distributes parts[i] from root to rank i. Non-root
 // ranks pass nil parts. Each rank receives a private copy of its part.
 func (c *Comm) ScatterVFloat64s(root int, parts [][]float64) []float64 {
+	return c.ScatterVFloat64sInto(root, parts, nil)
+}
+
+// ScatterVFloat64sInto is ScatterVFloat64s writing this rank's part into
+// dst (grown only when too small) and returning it. Allocation-free at
+// steady-state capacity. Root's parts are read by peers only inside the
+// call; the caller keeps ownership afterwards.
+func (c *Comm) ScatterVFloat64sInto(root int, parts [][]float64, dst []float64) []float64 {
 	c.checkPeer(root)
-	var contrib any
+	w := c.w
+	w.stats[c.rank].collectives.Add(1)
 	if c.rank == root {
-		if len(parts) != c.w.size {
-			panic(fmt.Sprintf("comm: ScatterVFloat64s needs %d parts, got %d", c.w.size, len(parts)))
+		if len(parts) != w.size {
+			panic(fmt.Sprintf("comm: ScatterVFloat64s needs %d parts, got %d", w.size, len(parts)))
 		}
-		contrib = parts
+		w.slots[c.rank].fss = parts
 	}
-	all := c.exchange(contrib)
-	src := all[root].([][]float64)[c.rank]
-	out := make([]float64, len(src))
-	copy(out, src)
-	return out
+	c.Barrier()
+	src := w.slots[root].fss[c.rank]
+	if cap(dst) < len(src) {
+		dst = make([]float64, len(src))
+	}
+	dst = dst[:len(src)]
+	copy(dst, src)
+	c.Barrier()
+	if c.rank == root {
+		w.slots[c.rank].fss = nil
+	}
+	return dst
 }
 
 // ExScanInt returns the exclusive prefix sum of x over ranks: rank r gets

@@ -46,10 +46,17 @@ type World struct {
 	size  int
 	mail  []*mailbox
 	bar   *barrier
-	coll  []any // per-rank exchange slots for collectives
+	coll  []any      // per-rank exchange slots for boxed collectives
+	slots []collSlot // per-rank typed slots for allocation-free collectives
+	red   [][]float64
 	stats []rankStats
 	abort chan struct{}
 	once  sync.Once
+
+	// pool recycles point-to-point payload buffers (SendFloat64sPooled /
+	// RecvFloat64sInto). Shared by all ranks: buffers cross rank
+	// boundaries by design.
+	pool sync.Pool
 
 	// causeMu guards cause, the first cancellation error recorded before
 	// the abort machinery fired (nil for a plain Abort).
@@ -75,6 +82,8 @@ func NewWorld(size int) (*World, error) {
 		size:  size,
 		mail:  make([]*mailbox, size),
 		coll:  make([]any, size),
+		slots: make([]collSlot, size),
+		red:   make([][]float64, size),
 		stats: make([]rankStats, size),
 		abort: make(chan struct{}),
 	}
@@ -87,6 +96,57 @@ func NewWorld(size int) (*World, error) {
 
 // Size returns the number of ranks in the world.
 func (w *World) Size() int { return w.size }
+
+// collSlot is one rank's typed posting slot for the allocation-free
+// collectives: scalar and slice contributions are posted into the typed
+// field instead of being boxed through the legacy []any exchange. Padded
+// so adjacent ranks' slots do not share a cache line.
+type collSlot struct {
+	f   float64
+	i   int
+	fs  []float64
+	is  []int
+	fss [][]float64
+	_   [64]byte
+}
+
+// pooledBuf is a recyclable point-to-point payload. It is a pointer-sized
+// pool element (a *pooledBuf stored in an `any` does not allocate on the
+// Get/Put round trip, unlike a bare []float64 header).
+type pooledBuf struct{ f []float64 }
+
+// getBuf draws a payload buffer of length n from the pool, allocating (and
+// counting a pool miss on st) only when the pool is empty or the recycled
+// buffer is too small.
+func (w *World) getBuf(n int, st *rankStats) *pooledBuf {
+	pb, _ := w.pool.Get().(*pooledBuf)
+	if pb == nil {
+		st.poolAllocs.Add(1)
+		return &pooledBuf{f: make([]float64, n)}
+	}
+	if cap(pb.f) < n {
+		st.poolAllocs.Add(1)
+		pb.f = make([]float64, n)
+	}
+	pb.f = pb.f[:n]
+	return pb
+}
+
+// putBuf returns a payload buffer to the pool and counts the recycle.
+func (w *World) putBuf(pb *pooledBuf, st *rankStats) {
+	st.poolRecycled.Add(1)
+	w.pool.Put(pb)
+}
+
+// redScratch returns rank's private reduction scratch of length n, grown
+// on demand and reused across collectives.
+func (w *World) redScratch(rank, n int) []float64 {
+	if cap(w.red[rank]) < n {
+		w.red[rank] = make([]float64, n)
+	}
+	w.red[rank] = w.red[rank][:n]
+	return w.red[rank]
+}
 
 // Abort poisons the world: every blocked or future communication call
 // panics with ErrAborted — in this world and, recursively, in every

@@ -22,8 +22,10 @@ func benchWorld(b *testing.B, p int, fn func(c *Comm, n int)) {
 }
 
 func BenchmarkBarrier(b *testing.B) {
+	b.ReportAllocs()
 	for _, p := range []int{2, 4, 8} {
 		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
+			b.ReportAllocs()
 			benchWorld(b, p, func(c *Comm, n int) {
 				for i := 0; i < n; i++ {
 					c.Barrier()
@@ -34,8 +36,10 @@ func BenchmarkBarrier(b *testing.B) {
 }
 
 func BenchmarkAllReduceFloat64(b *testing.B) {
+	b.ReportAllocs()
 	for _, p := range []int{2, 8} {
 		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
+			b.ReportAllocs()
 			benchWorld(b, p, func(c *Comm, n int) {
 				for i := 0; i < n; i++ {
 					c.AllReduceFloat64(float64(c.Rank()), OpSum)
@@ -46,8 +50,10 @@ func BenchmarkAllReduceFloat64(b *testing.B) {
 }
 
 func BenchmarkPingPong(b *testing.B) {
+	b.ReportAllocs()
 	for _, size := range []int{16, 1024, 65536} {
 		b.Run(fmt.Sprintf("floats=%d", size), func(b *testing.B) {
+			b.ReportAllocs()
 			b.SetBytes(int64(size * 8 * 2))
 			benchWorld(b, 2, func(c *Comm, n int) {
 				buf := make([]float64, size)
@@ -66,6 +72,7 @@ func BenchmarkPingPong(b *testing.B) {
 }
 
 func BenchmarkAllGatherV(b *testing.B) {
+	b.ReportAllocs()
 	benchWorld(b, 4, func(c *Comm, n int) {
 		local := make([]float64, 1000)
 		for i := 0; i < n; i++ {

@@ -17,6 +17,8 @@ type rankStats struct {
 	barriers      atomic.Int64
 	barrierWaitNs atomic.Int64
 	collectives   atomic.Int64
+	poolAllocs    atomic.Int64
+	poolRecycled  atomic.Int64
 	_             [64]byte // pad so adjacent ranks don't share a cache line
 }
 
@@ -30,6 +32,8 @@ type Stats struct {
 	BarrierEntries int64         // barrier entries (incl. collective-internal)
 	BarrierWait    time.Duration // time blocked waiting in barriers
 	Collectives    int64         // collective operations entered
+	PoolAllocs     int64         // pooled sends that had to allocate a fresh buffer
+	PoolRecycled   int64         // received pooled buffers returned to the pool
 }
 
 // Add returns the element-wise sum s + o.
@@ -42,6 +46,8 @@ func (s Stats) Add(o Stats) Stats {
 		BarrierEntries: s.BarrierEntries + o.BarrierEntries,
 		BarrierWait:    s.BarrierWait + o.BarrierWait,
 		Collectives:    s.Collectives + o.Collectives,
+		PoolAllocs:     s.PoolAllocs + o.PoolAllocs,
+		PoolRecycled:   s.PoolRecycled + o.PoolRecycled,
 	}
 }
 
@@ -56,6 +62,8 @@ func (s Stats) Sub(o Stats) Stats {
 		BarrierEntries: s.BarrierEntries - o.BarrierEntries,
 		BarrierWait:    s.BarrierWait - o.BarrierWait,
 		Collectives:    s.Collectives - o.Collectives,
+		PoolAllocs:     s.PoolAllocs - o.PoolAllocs,
+		PoolRecycled:   s.PoolRecycled - o.PoolRecycled,
 	}
 }
 
@@ -68,6 +76,8 @@ func (r *rankStats) snapshot() Stats {
 		BarrierEntries: r.barriers.Load(),
 		BarrierWait:    time.Duration(r.barrierWaitNs.Load()),
 		Collectives:    r.collectives.Load(),
+		PoolAllocs:     r.poolAllocs.Load(),
+		PoolRecycled:   r.poolRecycled.Load(),
 	}
 }
 
@@ -99,6 +109,8 @@ func (w *World) ResetStats() {
 		s.barriers.Store(0)
 		s.barrierWaitNs.Store(0)
 		s.collectives.Store(0)
+		s.poolAllocs.Store(0)
+		s.poolRecycled.Store(0)
 	}
 }
 
@@ -114,6 +126,8 @@ func payloadBytes(data any) int64 {
 	switch v := data.(type) {
 	case []float64:
 		return int64(8 * len(v))
+	case *pooledBuf:
+		return int64(8 * len(v.f))
 	case []int:
 		return int64(8 * len(v))
 	case string:

@@ -45,6 +45,21 @@ type baseAdapter struct {
 	params map[string]string
 	mf     MatrixFree
 
+	// cfgVer is bumped whenever the parameter store or the MatrixFree
+	// port changes; components key their cached, configured backend
+	// solver objects on it so a steady-state Solve reuses the solver
+	// (and its internal workspaces) instead of rebuilding it.
+	cfgVer int
+
+	// distVer is bumped by Initialize and the §6.3 distribution setters.
+	// Because those calls are SPMD-symmetric (every rank makes the same
+	// sequence of calls), the version is identical across ranks, which
+	// makes the layout cache below rank-symmetric: either all ranks hit
+	// it, or all ranks enter the collective pmat.NewLayout together.
+	distVer   int
+	layout    *pmat.Layout
+	layoutVer int
+
 	factorizations int // cumulative setup count reported in Status
 
 	rec *telemetry.Recorder
@@ -96,6 +111,7 @@ func (b *baseAdapter) fetchMatrixFreePort() {
 	if p, err := b.svc.GetPort(PortMatrixFree); err == nil {
 		if mf, ok := p.(MatrixFree); ok {
 			b.mf = mf
+			b.cfgVer++
 		}
 	}
 }
@@ -108,6 +124,7 @@ func (b *baseAdapter) Initialize(c *comm.Comm) int {
 		return ErrBadArg
 	}
 	b.c = c
+	b.distVer++
 	return OK
 }
 
@@ -126,6 +143,7 @@ func (b *baseAdapter) SetStartRow(startRow int) int {
 		return ErrBadArg
 	}
 	b.startRow = startRow
+	b.distVer++
 	return OK
 }
 
@@ -135,6 +153,7 @@ func (b *baseAdapter) SetLocalRows(rows int) int {
 		return ErrBadArg
 	}
 	b.localRows = rows
+	b.distVer++
 	return OK
 }
 
@@ -153,6 +172,7 @@ func (b *baseAdapter) SetGlobalCols(cols int) int {
 		return ErrBadArg
 	}
 	b.globalCols = cols
+	b.distVer++
 	return OK
 }
 
@@ -353,8 +373,14 @@ func (b *baseAdapter) SetupRHS(rightHandSide []float64, numLocalRow, nRhs int) i
 	if nRhs < 1 || numLocalRow != b.localRows || len(rightHandSide) < numLocalRow*nRhs {
 		return ErrBadArg
 	}
-	b.rhs = make([]float64, numLocalRow*nRhs)
-	copy(b.rhs, rightHandSide[:numLocalRow*nRhs])
+	// Reuse the staging buffer's capacity so re-staging a same-sized rhs
+	// (the steady-state time-stepping pattern, §5.2c) does not allocate.
+	need := numLocalRow * nRhs
+	if cap(b.rhs) < need {
+		b.rhs = make([]float64, need)
+	}
+	b.rhs = b.rhs[:need]
+	copy(b.rhs, rightHandSide[:need])
 	b.nRhs = nRhs
 	return OK
 }
@@ -363,6 +389,7 @@ func (b *baseAdapter) SetupRHS(rightHandSide []float64, numLocalRow, nRhs int) i
 
 func (b *baseAdapter) storeParam(key, value string) {
 	b.params[key] = value
+	b.cfgVer++
 }
 
 // getAll renders the parameter store plus identification, sorted for
@@ -392,12 +419,19 @@ func (b *baseAdapter) getAll(extra map[string]string) string {
 // SetMatrixFree implements SparseSolver (§5.5).
 func (b *baseAdapter) SetMatrixFree(mf MatrixFree) int {
 	b.mf = mf
+	b.cfgVer++
 	return OK
 }
 
 // buildLayout validates the distribution against the communicator and
-// returns the block-row layout (collective).
+// returns the block-row layout (collective on a cache miss). The layout
+// is cached keyed on distVer, so repeated Solve calls against unchanged
+// distribution setters skip the collective entirely; the version-based
+// key keeps cache hits rank-symmetric (see the distVer field comment).
 func (b *baseAdapter) buildLayout() (*pmat.Layout, error) {
+	if b.layout != nil && b.layoutVer == b.distVer {
+		return b.layout, nil
+	}
 	l, err := pmat.NewLayout(b.c, b.localRows)
 	if err != nil {
 		return nil, err
@@ -408,6 +442,8 @@ func (b *baseAdapter) buildLayout() (*pmat.Layout, error) {
 	if l.N != b.globalCols {
 		return nil, fmt.Errorf("lisi: global rows %d != SetGlobalCols(%d); LISI systems are square", l.N, b.globalCols)
 	}
+	b.layout = l
+	b.layoutVer = b.distVer
 	return l, nil
 }
 

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/aztec"
 	"repro/internal/cca"
+	"repro/internal/comm"
 	"repro/internal/pmat"
 	"repro/internal/telemetry"
 )
@@ -20,6 +21,16 @@ type AztecComponent struct {
 
 	crs      *aztec.CrsMatrix
 	builtVer int
+
+	// The configured solver is cached across Solve calls (keyed on the
+	// parameter-store version and the communicator) so its option/param
+	// arrays, workspaces, and preconditioner survive the steady state.
+	// The matrix/operator is re-bound only when it actually changed —
+	// SetUserMatrix invalidates the solver's preconditioner cache.
+	s       *aztec.Solver
+	sVer    int
+	sComm   *comm.Comm
+	sLayout *pmat.Layout // layout the matrix-free operator was bound with
 }
 
 var _ SparseSolver = (*AztecComponent)(nil)
@@ -196,12 +207,22 @@ func (ac *AztecComponent) Solve(solution []float64, status []float64, numLocalRo
 		return ErrBadArg
 	}
 
-	s := ac.configure()
+	rebuilt := false
+	if ac.s == nil || ac.sVer != ac.cfgVer || ac.sComm != ac.c {
+		ac.s = ac.configure()
+		ac.sVer, ac.sComm = ac.cfgVer, ac.c
+		rebuilt = true
+	}
+	s := ac.s
 	if ac.mf != nil {
-		mf := ac.mf
-		m := aztecMapFromLayout(l)
-		s.SetUserOperator(&lisiOperator{m: m, mf: mf})
+		if rebuilt || ac.sLayout != l {
+			mf := ac.mf
+			m := aztecMapFromLayout(l)
+			s.SetUserOperator(&lisiOperator{m: m, mf: mf})
+			ac.sLayout = l
+		}
 	} else {
+		matChanged := false
 		if ac.crs == nil || ac.builtVer != ac.matVer {
 			stopSetup := ac.rec.StartPhase(telemetry.PhaseSetup)
 			m := aztecMapFromLayout(l)
@@ -221,8 +242,11 @@ func (ac *AztecComponent) Solve(solution []float64, status []float64, numLocalRo
 			ac.builtVer = ac.matVer
 			ac.factorizations++
 			stopSetup()
+			matChanged = true
 		}
-		s.SetUserMatrix(ac.crs)
+		if rebuilt || matChanged {
+			s.SetUserMatrix(ac.crs)
+		}
 	}
 	s.SetRecorder(ac.rec)
 

@@ -4,6 +4,7 @@ import (
 	"strconv"
 
 	"repro/internal/cca"
+	"repro/internal/comm"
 	"repro/internal/ksp"
 	"repro/internal/pmat"
 	"repro/internal/telemetry"
@@ -18,6 +19,14 @@ type KSPComponent struct {
 
 	op       *ksp.Mat
 	builtVer int // matrix version op was built from
+
+	// The configured KSP is cached across Solve calls (keyed on the
+	// parameter-store version and the communicator it was built for) so
+	// its internal solve workspaces and preconditioner setup survive the
+	// steady state instead of being rebuilt per solve.
+	k     *ksp.KSP
+	kVer  int
+	kComm *comm.Comm
 }
 
 var _ SparseSolver = (*KSPComponent)(nil)
@@ -219,10 +228,14 @@ func (kc *KSPComponent) Solve(solution []float64, status []float64, numLocalRow,
 		stopSetup()
 	}
 
-	k, err := kc.configure()
-	if err != nil {
-		return ErrBadArg
+	if kc.k == nil || kc.kVer != kc.cfgVer || kc.kComm != kc.c {
+		k, err := kc.configure()
+		if err != nil {
+			return ErrBadArg
+		}
+		kc.k, kc.kVer, kc.kComm = k, kc.cfgVer, kc.c
 	}
+	k := kc.k
 	k.SetOperators(kc.op)
 	k.SetRecorder(kc.rec)
 

@@ -29,6 +29,16 @@ type MGComponent struct {
 	builtVer int
 	coarse   *SLUComponent
 	coarseUp bool // coarse matrix already staged
+
+	// Persistent coarse-solve buffers: the layout of the coarsest
+	// system, this rank's solution block, the gathered global solution
+	// handed back to mg, and the inner component's status array. The
+	// coarse solve runs once per cycle, so its steady state must not
+	// allocate either.
+	coarseL      *pmat.Layout
+	coarseX      []float64
+	coarseGlob   []float64
+	coarseStatus [StatusLen]float64
 }
 
 var _ SparseSolver = (*MGComponent)(nil)
@@ -107,10 +117,18 @@ func (mc *MGComponent) GetAll() string {
 // contract.
 func (mc *MGComponent) coarseSolve(a *sparse.CSR, b []float64) ([]float64, error) {
 	c := mc.c
-	l, err := pmat.NewLayout(c, evenLocal(c.Rank(), c.Size(), a.Rows))
-	if err != nil {
-		return nil, err
+	if mc.coarseL == nil || mc.coarseL.N != a.Rows || mc.coarseL.Comm() != c {
+		// The key (coarsest order, communicator) is identical on every
+		// rank, so all ranks enter the collective NewLayout together.
+		l, err := pmat.NewLayout(c, evenLocal(c.Rank(), c.Size(), a.Rows))
+		if err != nil {
+			return nil, err
+		}
+		mc.coarseL = l
+		mc.coarseX = make([]float64, l.LocalN)
+		mc.coarseGlob = make([]float64, l.N)
 	}
+	l := mc.coarseL
 	if !mc.coarseUp {
 		s := mc.coarse
 		if code := s.Initialize(c); code != OK {
@@ -134,12 +152,11 @@ func (mc *MGComponent) coarseSolve(a *sparse.CSR, b []float64) ([]float64, error
 	if code := mc.coarse.SetupRHS(b[l.Start:l.Start+l.LocalN], l.LocalN, 1); code != OK {
 		return nil, Check(code)
 	}
-	x := make([]float64, l.LocalN)
-	status := make([]float64, StatusLen)
-	if code := mc.coarse.Solve(x, status, l.LocalN, StatusLen); code != OK {
+	x := mc.coarseX
+	if code := mc.coarse.Solve(x, mc.coarseStatus[:], l.LocalN, StatusLen); code != OK {
 		return nil, Check(code)
 	}
-	return pmat.AllGather(l, x), nil
+	return pmat.AllGatherInto(l, mc.coarseGlob, x), nil
 }
 
 // evenLocal mirrors pmat.EvenLayout's split without a collective.

@@ -162,12 +162,11 @@ func (sc *SLUComponent) Solve(solution []float64, status []float64, numLocalRow,
 	lastRes := 0.0
 	for r := 0; r < sc.nRhs; r++ {
 		b := sc.rhs[r*numLocalRow : (r+1)*numLocalRow]
-		x, res, err := sc.dist.SolveRefined(b, refineSteps)
+		res, err := sc.dist.SolveRefinedInto(solution[r*numLocalRow:(r+1)*numLocalRow], b, refineSteps)
 		if err != nil {
 			writeStatus(status, statusLength, 0, 0, false, sc.factorizations)
 			return ErrSolveFailed
 		}
-		copy(solution[r*numLocalRow:(r+1)*numLocalRow], x)
 		lastRes = res
 	}
 	writeStatus(status, statusLength, 0, lastRes, true, sc.factorizations)

@@ -67,6 +67,8 @@ type Session struct {
 
 	solves  int
 	aborted int
+
+	status [StatusLen]float64 // reused per-solve status staging
 }
 
 // ErrSessionClosed is returned by Session methods after Close.
@@ -241,7 +243,10 @@ func (s *Session) Solve(ctx context.Context, x []float64) (SolveResult, error) {
 	}
 	s.solves++
 	start := time.Now()
-	status := make([]float64, StatusLen)
+	status := s.status[:]
+	for i := range status {
+		status[i] = 0
+	}
 	code, abortCause := s.solveRecover(ctx, x, status)
 	if abortCause != nil {
 		s.dead = true
@@ -283,6 +288,14 @@ func (s *Session) solveRecover(ctx context.Context, x, status []float64) (code i
 			}
 		}
 	}()
+	if ctx.Done() == nil {
+		// The context can never be cancelled (context.Background and
+		// friends), so binding it to the communicator buys nothing;
+		// skipping the two Initialize calls keeps the component's
+		// version-keyed solver and layout caches warm in the steady
+		// state.
+		return s.solver.Solve(x, status, s.layout.LocalN, StatusLen), nil
+	}
 	cc := s.c.WithContext(ctx)
 	if code := s.solver.Initialize(cc); code != OK {
 		return code, nil

@@ -362,6 +362,7 @@ func TestSessionLifecycleOrder(t *testing.T) {
 // operator, so this tracks the session + matVer reuse overhead. Guarded
 // by scripts/benchguard.sh against BENCH_BASELINE.json.
 func BenchmarkSessionReuseSolve(b *testing.B) {
+	b.ReportAllocs()
 	for _, tc := range []struct {
 		name   string
 		params map[string]string
@@ -370,6 +371,7 @@ func BenchmarkSessionReuseSolve(b *testing.B) {
 		{"petsc", map[string]string{"solver": "gmres", "preconditioner": "jacobi", "tol": "1e-8", "maxits": "500"}},
 	} {
 		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
 			p := mesh.PaperProblem(16)
 			a, rhs, err := p.GenerateGlobal()
 			if err != nil {

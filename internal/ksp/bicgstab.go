@@ -9,31 +9,30 @@ import (
 // solveBiCGStab is the stabilized bi-conjugate gradient method of van der
 // Vorst with right-side application of the preconditioner inside the
 // update directions (the PETSc bcgs formulation). Convergence is tested
-// on the true residual norm.
+// on the true residual norm. Independent same-iteration reductions are
+// fused: (t·t, t·s) share one AllReduce, and the tail residual norm is
+// fused with the next iteration's ρ = r̂·r — each fused value is bitwise
+// identical to its unfused counterpart, only the collective count drops
+// from 5-6 to 3 per iteration.
 func (k *KSP) solveBiCGStab(b, x []float64) error {
 	n := len(x)
-	r := make([]float64, n)
-	rhat := make([]float64, n)
-	p := make([]float64, n)
-	v := make([]float64, n)
-	s := make([]float64, n)
-	t := make([]float64, n)
-	phat := make([]float64, n)
-	shat := make([]float64, n)
+	w := k.wsVecs(n, 8)
+	r, rhat, p, v := w[0], w[1], w[2], w[3]
+	s, t, phat, shat := w[4], w[5], w[6], w[7]
 
 	k.a.Apply(r, x)
 	for i := range r {
 		r[i] = b[i] - r[i]
 	}
 	copy(rhat, r)
-	rnorm0 := k.norm2(r)
+	rnorm0, rhoNext := k.fusedNormDot(r, rhat)
 	if k.testConvergence(0, rnorm0, rnorm0) {
 		return nil
 	}
 
 	rho, alpha, omega := 1.0, 1.0, 1.0
 	for it := 1; ; it++ {
-		rhoNew := k.dot(rhat, r)
+		rhoNew := rhoNext
 		if rhoNew == 0 {
 			k.reason = DivergedBreakdown
 			k.its = it
@@ -68,13 +67,13 @@ func (k *KSP) solveBiCGStab(b, x []float64) error {
 		}
 		k.pc.Apply(shat, s)
 		k.a.Apply(t, shat)
-		tt := k.dot(t, t)
+		tt, ts := k.fusedDot2(t, t, t, s)
 		if tt == 0 {
 			k.reason = DivergedBreakdown
 			k.its = it
 			return nil
 		}
-		omega = k.dot(t, s) / tt
+		omega = ts / tt
 		if math.Abs(omega) < 1e-300 {
 			k.reason = DivergedBreakdown
 			k.its = it
@@ -86,7 +85,9 @@ func (k *KSP) solveBiCGStab(b, x []float64) error {
 		for i := range r {
 			r[i] = s[i] - omega*t[i]
 		}
-		if k.testConvergence(it, k.norm2(r), rnorm0) {
+		var rnorm float64
+		rnorm, rhoNext = k.fusedNormDot(r, rhat)
+		if k.testConvergence(it, rnorm, rnorm0) {
 			return nil
 		}
 	}

@@ -14,10 +14,8 @@ import (
 // smoothing and communication-avoiding settings favor it.
 func (k *KSP) solveChebyshev(b, x []float64) error {
 	n := len(x)
-	r := make([]float64, n)
-	z := make([]float64, n)
-	p := make([]float64, n)
-	q := make([]float64, n)
+	w := k.wsVecs(n, 4)
+	r, z, p, q := w[0], w[1], w[2], w[3]
 
 	emin, emax := k.chebEmin, k.chebEmax
 	if emax <= 0 {
@@ -78,14 +76,14 @@ func (k *KSP) solveChebyshev(b, x []float64) error {
 func (k *KSP) estimateMaxEig() (float64, error) {
 	l := k.a.Layout()
 	n := l.LocalN
-	v := make([]float64, n)
+	// Workspace slots 4-6: solveChebyshev owns 0-3 for the iteration.
+	ws := k.wsVecs(n, 7)
+	v, t, w := ws[4], ws[5], ws[6]
 	for i := range v {
 		h := uint64(l.Start+i+1) * 0x9E3779B97F4A7C15
 		h ^= h >> 33
 		v[i] = float64(h%2048)/1024 - 1
 	}
-	t := make([]float64, n)
-	w := make([]float64, n)
 	lmax := 1.0
 	for it := 0; it < 20; it++ {
 		k.a.Apply(t, v)

@@ -10,27 +10,15 @@ import (
 // preconditioned directions stored, so the preconditioner may change
 // between iterations (e.g. an inner iterative solve). Convergence is
 // tested on the true residual norm, which right preconditioning makes
-// directly available.
+// directly available. Like GMRES, the MGS recurrence is sequentially
+// dependent, so only the workspace is hoisted — no reduction fusion.
 func (k *KSP) solveFGMRES(b, x []float64) error {
 	n := len(x)
 	m := k.restart
 
-	v := make([][]float64, m+1)
-	z := make([][]float64, m) // preconditioned directions (flexible part)
-	for i := range v {
-		v[i] = make([]float64, n)
-	}
-	for i := range z {
-		z[i] = make([]float64, n)
-	}
-	h := make([][]float64, m+1)
-	for i := range h {
-		h[i] = make([]float64, m)
-	}
-	g := make([]float64, m+1)
-	cs := make([]float64, m)
-	sn := make([]float64, m)
-	w := make([]float64, n)
+	ws := k.wsKrylov(n, m, true)
+	v, z, h, g, cs, sn := ws.v, ws.z, ws.h, ws.g, ws.cs, ws.sn
+	w := k.wsVecs(n, 1)[0]
 
 	rnorm0 := -1.0
 	it := 0
@@ -77,6 +65,10 @@ func (k *KSP) solveFGMRES(b, x []float64) error {
 				inv := 1 / h[j+1][j]
 				for i := range w {
 					v[j+1][i] = w[i] * inv
+				}
+			} else {
+				for i := range v[j+1] {
+					v[j+1][i] = 0
 				}
 			}
 			for i := 0; i < j; i++ {

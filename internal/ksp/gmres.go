@@ -9,25 +9,17 @@ import (
 // solveGMRES is restarted, left-preconditioned GMRES(m) with modified
 // Gram–Schmidt orthogonalization and Givens-rotation least squares.
 // Convergence is tested on the preconditioned residual norm, as in
-// PETSc's default GMRES convergence test.
+// PETSc's default GMRES convergence test. The MGS dots are sequentially
+// dependent (each orthogonalization step reads the previous Axpy), so no
+// reductions are fused here; the win is workspace reuse across solves.
 func (k *KSP) solveGMRES(b, x []float64) error {
 	n := len(x)
 	m := k.restart
 
-	// Krylov basis (m+1 vectors) and Hessenberg in packed columns.
-	v := make([][]float64, m+1)
-	for i := range v {
-		v[i] = make([]float64, n)
-	}
-	h := make([][]float64, m+1) // h[i][j], i row, j column
-	for i := range h {
-		h[i] = make([]float64, m)
-	}
-	g := make([]float64, m+1) // rhs of the least-squares problem
-	cs := make([]float64, m)  // Givens cosines
-	sn := make([]float64, m)  // Givens sines
-	w := make([]float64, n)
-	t := make([]float64, n)
+	ws := k.wsKrylov(n, m, false)
+	v, h, g, cs, sn := ws.v, ws.h, ws.g, ws.cs, ws.sn
+	scratch := k.wsVecs(n, 2)
+	w, t := scratch[0], scratch[1]
 
 	rnorm0 := -1.0
 	it := 0
@@ -77,6 +69,12 @@ func (k *KSP) solveGMRES(b, x []float64) error {
 				for i := range w {
 					v[j+1][i] = w[i] * inv
 				}
+			} else {
+				// Breakdown: leave a deterministic zero direction rather
+				// than whatever a previous restart or solve left behind.
+				for i := range v[j+1] {
+					v[j+1][i] = 0
+				}
 			}
 			// Apply existing Givens rotations to the new column.
 			for i := 0; i < j; i++ {
@@ -101,12 +99,14 @@ func (k *KSP) solveGMRES(b, x []float64) error {
 	}
 }
 
-// updateSolution computes x += V_k · y where H(1:k,1:k) y = g(1:k).
+// updateSolution computes x += V_k · y where H(1:k,1:k) y = g(1:k). The
+// back-substitution buffer lives in the workspace (kk never exceeds the
+// restart length the workspace was sized for).
 func (k *KSP) updateSolution(x []float64, v [][]float64, h [][]float64, g []float64, kk int) {
 	if kk == 0 {
 		return
 	}
-	y := make([]float64, kk)
+	y := k.ws.y[:kk]
 	for i := kk - 1; i >= 0; i-- {
 		s := g[i]
 		for j := i + 1; j < kk; j++ {

@@ -92,6 +92,14 @@ type KSP struct {
 	rnorm  float64
 	reason ConvergedReason
 
+	// ws is the per-solver workspace reused across repeated solves (the
+	// Session steady state); pcFor/pcObj record which (operator, PC)
+	// pair the preconditioner was last set up for, so an unchanged
+	// operator skips refactorization.
+	ws    solveWorkspace
+	pcFor *Mat
+	pcObj PC
+
 	rec *telemetry.Recorder
 }
 
@@ -221,11 +229,17 @@ func (k *KSP) Solve(b, x []float64) error {
 	if k.pc == nil {
 		k.pc = &pcBlockILU{name: PCBJacobi}
 	}
-	stopPC := k.rec.StartPhase(telemetry.PhasePrecond)
-	err := k.pc.SetUp(k.a)
-	stopPC()
-	if err != nil {
-		return err
+	// Set up the preconditioner only when the (operator, PC) pair
+	// changed. Operator identity is by pointer: Mat values are fixed at
+	// construction, so a changed system always arrives as a new Mat.
+	if k.pcFor != k.a || k.pcObj != k.pc {
+		stopPC := k.rec.StartPhase(telemetry.PhasePrecond)
+		err := k.pc.SetUp(k.a)
+		stopPC()
+		if err != nil {
+			return err
+		}
+		k.pcFor, k.pcObj = k.a, k.pc
 	}
 	if !k.guessNonzero {
 		for i := range x {
@@ -236,6 +250,7 @@ func (k *KSP) Solve(b, x []float64) error {
 	k.reason = DivergedNull
 
 	defer k.rec.StartPhase(telemetry.PhaseIterate)()
+	var err error
 	switch k.typ {
 	case TypeCG:
 		err = k.solveCG(b, x)

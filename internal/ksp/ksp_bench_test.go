@@ -10,8 +10,10 @@ import (
 // BenchmarkILU0 measures the block preconditioner setup cost (the
 // dominant setup inside the PETSc-role component).
 func BenchmarkILU0(b *testing.B) {
+	b.ReportAllocs()
 	a := sparse.Laplace2D(70, 70) // n = 4,900
 	b.Run("factor", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := NewILU0(a); err != nil {
 				b.Fatal(err)
@@ -25,6 +27,7 @@ func BenchmarkILU0(b *testing.B) {
 	r := sparse.RandomVector(a.Rows, 1)
 	z := make([]float64, a.Rows)
 	b.Run("solve", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			f.Solve(z, r)
 		}
@@ -35,6 +38,7 @@ func BenchmarkILU0(b *testing.B) {
 // operator at fixed tolerance — the per-method cost behind Figure 5's
 // iterative panels.
 func BenchmarkKrylovMethods(b *testing.B) {
+	b.ReportAllocs()
 	global := sparse.Laplace2D(40, 40)
 	w, err := comm.NewWorld(2)
 	if err != nil {
@@ -42,6 +46,7 @@ func BenchmarkKrylovMethods(b *testing.B) {
 	}
 	for _, method := range []string{TypeCG, TypeGMRES, TypeFGMRES, TypeBiCGStab, TypeTFQMR, TypeChebyshev} {
 		b.Run(method, func(b *testing.B) {
+			b.ReportAllocs()
 			var its int
 			if err := w.Run(func(c *comm.Comm) {
 				a := distMat(c, global)

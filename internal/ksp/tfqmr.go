@@ -9,16 +9,20 @@ import (
 // solveTFQMR is Freund's transpose-free QMR in the formulation of Kelley
 // ("Iterative Methods for Linear and Nonlinear Equations", alg. 7.4.1),
 // applied to the left-preconditioned system M⁻¹A·x = M⁻¹b. The residual
-// estimate τ·√(m+1) bounds the preconditioned residual norm.
+// estimate τ·√(m+1) bounds the preconditioned residual norm. The
+// recurrence's reductions (σ, θ, ρ) each depend on the vector updates
+// between them, so only the workspace is hoisted — no reduction fusion.
 func (k *KSP) solveTFQMR(b, x []float64) error {
 	n := len(x)
+	ws := k.wsVecs(n, 10)
+	scratch, r, r0, w := ws[0], ws[1], ws[2], ws[3]
+	y1, y2, d, v := ws[4], ws[5], ws[6], ws[7]
+	u1, u2 := ws[8], ws[9]
 	applyPA := func(dst, src, scratch []float64) {
 		k.a.Apply(scratch, src)
 		k.pc.Apply(dst, scratch)
 	}
-	scratch := make([]float64, n)
 
-	r := make([]float64, n)
 	// r = M⁻¹ (b − A x)
 	k.a.Apply(scratch, x)
 	for i := range scratch {
@@ -26,19 +30,16 @@ func (k *KSP) solveTFQMR(b, x []float64) error {
 	}
 	k.pc.Apply(r, scratch)
 
-	r0 := make([]float64, n)
 	copy(r0, r)
-	w := make([]float64, n)
 	copy(w, r)
-	y1 := make([]float64, n)
 	copy(y1, r)
-	y2 := make([]float64, n)
-	d := make([]float64, n)
-	v := make([]float64, n)
+	// d accumulates from zero; the workspace is reused across solves, so
+	// clear it explicitly (everything else is fully written before read).
+	for i := range d {
+		d[i] = 0
+	}
 	applyPA(v, y1, scratch)
-	u1 := make([]float64, n)
 	copy(u1, v)
-	u2 := make([]float64, n)
 
 	tau := k.norm2(r)
 	rnorm0 := tau

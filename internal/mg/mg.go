@@ -89,6 +89,12 @@ type level struct {
 	prolong  *pmat.Mat
 	// scratch vectors, local lengths.
 	r, z []float64
+	// bc/xc hold the restricted rhs and coarse correction for the next
+	// coarser level (nil on the coarsest); bGlobal is the coarsest
+	// level's persistent AllGather buffer. All are sized at setup so the
+	// cycling loop never allocates.
+	bc, xc  []float64
+	bGlobal []float64
 }
 
 // Solver is a ready multigrid hierarchy for one problem instance.
@@ -171,6 +177,14 @@ func New(c *comm.Comm, p mesh.Problem, opts Options) (*Solver, error) {
 	// Gather the coarsest operator for the LISI coarse solve.
 	last := s.levels[len(s.levels)-1]
 	s.coarseA = last.a.GatherGlobal()
+
+	// Size the per-level cycling scratch so Solve allocates nothing.
+	for k := 0; k+1 < len(s.levels); k++ {
+		next := s.levels[k+1]
+		s.levels[k].bc = make([]float64, next.layout.LocalN)
+		s.levels[k].xc = make([]float64, next.layout.LocalN)
+	}
+	last.bGlobal = make([]float64, last.layout.N)
 	return s, nil
 }
 
@@ -345,8 +359,9 @@ func (lvl *level) smooth(b, x []float64, omega float64, sweeps int) {
 func (s *Solver) vcycle(k int, b, x []float64) error {
 	lvl := s.levels[k]
 	if k == len(s.levels)-1 {
-		// Coarsest: gather and delegate to the LISI coarse solver.
-		bGlobal := pmat.AllGather(lvl.layout, b)
+		// Coarsest: gather (into the persistent buffer) and delegate to
+		// the LISI coarse solver.
+		bGlobal := pmat.AllGatherInto(lvl.layout, lvl.bGlobal, b)
 		xg, err := s.opts.Coarse(s.coarseA, bGlobal)
 		if err != nil {
 			return fmt.Errorf("mg: coarse solve: %w", err)
@@ -361,14 +376,17 @@ func (s *Solver) vcycle(k int, b, x []float64) error {
 	for i := range lvl.r {
 		lvl.r[i] = b[i] - lvl.r[i]
 	}
-	next := s.levels[k+1]
-	bc := make([]float64, next.layout.LocalN)
+	bc := lvl.bc
 	lvl.restrict.Apply(bc, lvl.r)
 
 	// γ recursions into the coarser level: γ=1 is the V-cycle, γ=2 the
 	// W-cycle (the coarsest level solves exactly either way, so extra
-	// visits there are skipped).
-	xc := make([]float64, next.layout.LocalN)
+	// visits there are skipped). xc accumulates from a zero initial
+	// guess, so clear the reused buffer.
+	xc := lvl.xc
+	for i := range xc {
+		xc[i] = 0
+	}
 	gamma := s.opts.Gamma
 	if k+1 == len(s.levels)-1 {
 		gamma = 1

@@ -50,7 +50,13 @@ type Mat struct {
 	recvOff []int // offset into ghost buffer per source rank
 	recvCnt []int
 
+	// sendBuf[r] is the persistent staging buffer for the values sent to
+	// rank r, sized from the plan at construction so Apply never grows a
+	// send buffer per product.
+	sendBuf [][]float64
+
 	xext []float64 // scratch: [local x | ghosts]
+	rres []float64 // scratch for Residual
 }
 
 // NewMat builds a square distributed matrix from this rank's local rows
@@ -114,6 +120,12 @@ func NewMatRect(rowL, colL *Layout, localRows *sparse.CSR) (*Mat, error) {
 	}
 
 	m.buildPlan()
+	m.sendBuf = make([][]float64, len(m.sendIdx))
+	for r, idx := range m.sendIdx {
+		if len(idx) > 0 {
+			m.sendBuf[r] = make([]float64, len(idx))
+		}
+	}
 	m.xext = make([]float64, colL.LocalN+len(m.ghostCols))
 	return m, nil
 }
@@ -211,33 +223,34 @@ func (m *Mat) Apply(y, x []float64) {
 		panic(fmt.Sprintf("pmat: Apply: local vectors must have lengths %d (in) and %d (out)", m.C.LocalN, m.L.LocalN))
 	}
 	// Post all sends first; mailbox delivery is non-blocking so this
-	// cannot deadlock.
-	var buf []float64
+	// cannot deadlock. Values are staged in the plan-owned per-destination
+	// buffers and shipped through the world's payload pool, so the
+	// steady-state product allocates nothing.
 	for r, idx := range m.sendIdx {
 		if len(idx) == 0 {
 			continue
 		}
-		buf = buf[:0]
-		for _, li := range idx {
-			buf = append(buf, x[li])
+		buf := m.sendBuf[r]
+		for k, li := range idx {
+			buf[k] = x[li]
 		}
-		l.c.SendFloat64s(r, tagGhost, buf)
+		l.c.SendFloat64sPooled(r, tagGhost, buf)
 	}
 
 	// Interior product while the ghost values travel.
 	m.interior.MulVec(y, x)
 
-	// Collect ghosts and add the boundary contribution.
+	// Collect ghosts straight into their segment of the ghost buffer and
+	// add the boundary contribution.
 	ghosts := m.xext[:len(m.ghostCols)]
 	for r := 0; r < l.c.Size(); r++ {
 		if m.recvCnt[r] == 0 {
 			continue
 		}
-		vals, _ := l.c.RecvFloat64s(r, tagGhost)
-		if len(vals) != m.recvCnt[r] {
-			panic(fmt.Sprintf("pmat: Apply: rank %d sent %d ghosts, want %d", r, len(vals), m.recvCnt[r]))
+		n, _ := l.c.RecvFloat64sInto(ghosts[m.recvOff[r]:m.recvOff[r]+m.recvCnt[r]], r, tagGhost)
+		if n != m.recvCnt[r] {
+			panic(fmt.Sprintf("pmat: Apply: rank %d sent %d ghosts, want %d", r, n, m.recvCnt[r]))
 		}
-		copy(ghosts[m.recvOff[r]:], vals)
 	}
 	if m.boundary.NNZ() > 0 {
 		m.boundary.MulVecAdd(y, ghosts)
@@ -325,9 +338,13 @@ func (m *Mat) GatherGlobal() *sparse.CSR {
 	return g.ToCSR()
 }
 
-// Residual computes the global 2-norm of b − A·x (collective).
+// Residual computes the global 2-norm of b − A·x (collective). The
+// residual vector lives in matrix-owned scratch, reused across calls.
 func (m *Mat) Residual(b, x []float64) float64 {
-	r := make([]float64, m.L.LocalN)
+	if m.rres == nil {
+		m.rres = make([]float64, m.L.LocalN)
+	}
+	r := m.rres
 	m.Apply(r, x)
 	for i := range r {
 		r[i] = b[i] - r[i]

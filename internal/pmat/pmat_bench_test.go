@@ -12,9 +12,11 @@ import (
 // local product — the inner kernel of every iterative solve in this
 // repository.
 func BenchmarkApply(b *testing.B) {
+	b.ReportAllocs()
 	global := sparse.Laplace2D(100, 100) // n = 10,000
 	for _, p := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
+			b.ReportAllocs()
 			w, err := comm.NewWorld(p)
 			if err != nil {
 				b.Fatal(err)
@@ -40,8 +42,10 @@ func BenchmarkApply(b *testing.B) {
 
 // BenchmarkDot measures the distributed inner product (one allreduce).
 func BenchmarkDot(b *testing.B) {
+	b.ReportAllocs()
 	for _, p := range []int{2, 8} {
 		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
+			b.ReportAllocs()
 			w, err := comm.NewWorld(p)
 			if err != nil {
 				b.Fatal(err)
@@ -62,6 +66,7 @@ func BenchmarkDot(b *testing.B) {
 // BenchmarkPlanBuild measures the ghost-plan construction (matrix
 // assembly cost in the CCA path).
 func BenchmarkPlanBuild(b *testing.B) {
+	b.ReportAllocs()
 	global := sparse.Laplace2D(60, 60)
 	w, err := comm.NewWorld(4)
 	if err != nil {
@@ -74,6 +79,41 @@ func BenchmarkPlanBuild(b *testing.B) {
 			if _, err := NewMat(l, local); err != nil {
 				b.Fatal(err)
 			}
+		}
+	}); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkApplyAllocs pins the zero-allocation steady-state SpMV on a
+// multi-rank world: after a warm-up Apply has sized the plan's send
+// buffers and primed the comm payload pool, the timed region must not
+// allocate. scripts/benchguard.sh gates this benchmark's allocs/op (at
+// zero) alongside its ns/op.
+func BenchmarkApplyAllocs(b *testing.B) {
+	b.ReportAllocs()
+	global := sparse.Laplace2D(40, 40)
+	w, err := comm.NewWorld(4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := w.Run(func(c *comm.Comm) {
+		l, m := distribute(c, global)
+		x := make([]float64, l.LocalN)
+		y := make([]float64, l.LocalN)
+		for i := range x {
+			x[i] = 1
+		}
+		for i := 0; i < 4; i++ {
+			m.Apply(y, x) // prime the pool past the in-flight mark
+		}
+		c.Barrier()
+		if c.Rank() == 0 {
+			b.ResetTimer() // drop setup allocations from the alloc count
+		}
+		c.Barrier()
+		for i := 0; i < b.N; i++ {
+			m.Apply(y, x)
 		}
 	}); err != nil {
 		b.Fatal(err)

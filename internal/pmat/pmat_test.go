@@ -2,6 +2,7 @@ package pmat
 
 import (
 	"math"
+	"runtime"
 	"testing"
 	"testing/quick"
 
@@ -323,5 +324,62 @@ func TestApplyRepeatable(t *testing.T) {
 				}
 			}
 		}
+	})
+}
+
+// TestApplyAllocsSingleRank pins the satellite acceptance criterion
+// literally: a warmed-up Apply performs zero heap allocations.
+func TestApplyAllocsSingleRank(t *testing.T) {
+	global := sparse.Laplace2D(8, 8)
+	run(t, 1, func(c *comm.Comm) {
+		l, m := distribute(c, global)
+		x := sparse.RandomVector(l.LocalN, 3)
+		y := make([]float64, l.LocalN)
+		m.Apply(y, x) // warm up scratch
+		runtime.GC()
+		if avg := testing.AllocsPerRun(50, func() { m.Apply(y, x) }); avg != 0 {
+			t.Errorf("Apply allocates %.2f allocs/op, want 0", avg)
+		}
+	})
+}
+
+// TestApplyAllocsMultiRank extends the zero-allocation guarantee to the
+// communicating case: with 4 ranks exchanging ghost values through the
+// payload pool, the whole process performs zero heap allocations per
+// lockstep Apply. Rank 0 measures with testing.AllocsPerRun (process-wide
+// malloc counting), while the other ranks mirror its runs+1 calls (one
+// documented warm-up plus runs measured calls) so every collective Apply
+// is matched.
+func TestApplyAllocsMultiRank(t *testing.T) {
+	const runs = 20
+	global := sparse.Laplace2D(10, 10)
+	run(t, 4, func(c *comm.Comm) {
+		l, m := distribute(c, global)
+		x := sparse.RandomVector(l.LocalN, int64(5+c.Rank()))
+		y := make([]float64, l.LocalN)
+		step := func() {
+			m.Apply(y, x)
+			c.Barrier()
+		}
+		for i := 0; i < 4; i++ {
+			step() // prime the payload pool past the in-flight high-water mark
+		}
+		runtime.GC()
+		if c.Rank() == 0 {
+			// Every rank must run its runs+1 calls even when the count is
+			// not asserted, so the lockstep collective pairing holds.
+			avg := testing.AllocsPerRun(runs, step)
+			// Under -race, sync.Pool drops 25% of Puts by design, so the
+			// pooled ghost exchange cannot sustain strict zero; the
+			// exchange still runs above for race coverage.
+			if !raceEnabled && avg != 0 {
+				t.Errorf("4-rank Apply allocates %.2f allocs/op process-wide, want 0", avg)
+			}
+		} else {
+			for i := 0; i < runs+1; i++ {
+				step()
+			}
+		}
+		c.Barrier()
 	})
 }

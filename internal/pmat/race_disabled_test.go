@@ -1,0 +1,6 @@
+//go:build !race
+
+package pmat
+
+// raceEnabled: see race_enabled_test.go.
+const raceEnabled = false

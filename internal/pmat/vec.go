@@ -36,9 +36,22 @@ func Gather(l *Layout, root int, x []float64) []float64 {
 	return l.c.GatherVFloat64s(root, x)
 }
 
+// GatherInto is Gather reusing dst as root's result buffer (grown only
+// when too small); non-root ranks receive nil (collective).
+func GatherInto(l *Layout, root int, dst, x []float64) []float64 {
+	return l.c.GatherVFloat64sInto(root, dst, x)
+}
+
 // AllGather collects a distributed vector onto every rank (collective).
 func AllGather(l *Layout, x []float64) []float64 {
 	return l.c.AllGatherVFloat64s(x)
+}
+
+// AllGatherInto is AllGather reusing dst as the result buffer (grown only
+// when too small), so repeated gathers of a fixed-size vector do not
+// allocate (collective).
+func AllGatherInto(l *Layout, dst, x []float64) []float64 {
+	return l.c.AllGatherVFloat64sInto(dst, x)
 }
 
 // Scatter distributes a global vector held at root according to the

@@ -22,6 +22,14 @@ type DistSolver struct {
 	global *sparse.CSR // non-nil on rank 0 only
 	nnz    int
 	rec    *telemetry.Recorder
+
+	// Persistent per-solve buffers (steady-state reuse): the gathered
+	// rhs and solution (rank 0 only), the scatter views into xGlobal,
+	// and the fused {errFlag, residual} status broadcast staging.
+	bGlobal []float64
+	xGlobal []float64
+	parts   [][]float64
+	stat    [2]float64
 }
 
 // SetRecorder attaches a telemetry recorder: the root triangular solves
@@ -80,47 +88,60 @@ func (d *DistSolver) Solve(bLocal []float64) ([]float64, error) {
 	if len(bLocal) != l.LocalN {
 		return nil, fmt.Errorf("slu: DistSolver.Solve: local rhs has length %d, want %d", len(bLocal), l.LocalN)
 	}
-	x, _, err := d.rootSolve(bLocal, 0)
+	x := make([]float64, l.LocalN)
+	_, err := d.rootSolveInto(x, bLocal, 0)
 	if err != nil {
 		return nil, err
 	}
 	return x, nil
 }
 
-// rootSolve gathers the rhs at rank 0, solves (with optional refinement
-// steps), and scatters the solution back (collective).
-func (d *DistSolver) rootSolve(bLocal []float64, steps int) ([]float64, float64, error) {
+// rootSolveInto gathers the rhs at rank 0, solves (with optional
+// refinement steps), and scatters the solution into the caller-provided
+// xLocal (collective). Returns the refinement residual ∞-norm. Repeated
+// calls reuse the gathered-vector buffers and fuse the error flag and
+// residual into one broadcast, so the steady state does not allocate; the
+// error text itself is only exchanged on failure.
+func (d *DistSolver) rootSolveInto(xLocal, bLocal []float64, steps int) (float64, error) {
 	l := d.layout
 	c := l.Comm()
-	bGlobal := pmat.Gather(l, 0, bLocal)
-	var xGlobal []float64
-	res := 0.0
+	d.bGlobal = pmat.GatherInto(l, 0, d.bGlobal, bLocal)
 	errText := ""
+	d.stat[0], d.stat[1] = 0, 0
 	if c.Rank() == 0 {
+		if len(d.xGlobal) != l.N {
+			d.xGlobal = make([]float64, l.N)
+			// Scatter views into the (re)allocated solution buffer.
+			d.parts = make([][]float64, c.Size())
+			for r := 0; r < c.Size(); r++ {
+				d.parts[r] = d.xGlobal[l.Starts[r]:l.Starts[r+1]]
+			}
+		}
 		stop := d.rec.StartPhase(telemetry.PhaseIterate)
-		x, err := d.f.Solve(bGlobal)
+		err := d.f.SolveInto(d.xGlobal, d.bGlobal)
 		if err != nil {
 			errText = err.Error()
-		} else {
-			if steps > 0 {
-				d.rec.Add("slu.refine_steps", int64(steps))
-				res, err = d.f.Refine(d.global, bGlobal, x, steps)
-				if err != nil {
-					errText = err.Error()
-				}
+		} else if steps > 0 {
+			d.rec.Add("slu.refine_steps", int64(steps))
+			res, err := d.f.Refine(d.global, d.bGlobal, d.xGlobal, steps)
+			if err != nil {
+				errText = err.Error()
 			}
-			xGlobal = x
+			d.stat[1] = res
 		}
 		stop()
 		d.rec.Add("slu.root_solves", 1)
+		if errText != "" {
+			d.stat[0] = 1
+		}
 	}
-	errText = c.BcastString(0, errText)
-	if errText != "" {
-		return nil, 0, fmt.Errorf("slu: %s", errText)
+	c.BcastFloat64sInto(0, d.stat[:])
+	if d.stat[0] != 0 {
+		errText = c.BcastString(0, errText)
+		return 0, fmt.Errorf("slu: %s", errText)
 	}
-	xl := pmat.Scatter(l, 0, xGlobal)
-	resAll := c.BcastFloat64s(0, []float64{res})
-	return xl, resAll[0], nil
+	c.ScatterVFloat64sInto(0, d.parts, xLocal)
+	return d.stat[1], nil
 }
 
 // SolveRefined solves like Solve and then applies steps of iterative
@@ -134,5 +155,23 @@ func (d *DistSolver) SolveRefined(bLocal []float64, steps int) ([]float64, float
 	if steps < 0 {
 		return nil, 0, fmt.Errorf("slu: DistSolver.SolveRefined: negative step count %d", steps)
 	}
-	return d.rootSolve(bLocal, steps)
+	x := make([]float64, l.LocalN)
+	res, err := d.rootSolveInto(x, bLocal, steps)
+	if err != nil {
+		return nil, 0, err
+	}
+	return x, res, nil
+}
+
+// SolveRefinedInto is SolveRefined writing this rank's solution block
+// into the caller-provided xLocal; repeated calls do not allocate.
+func (d *DistSolver) SolveRefinedInto(xLocal, bLocal []float64, steps int) (float64, error) {
+	l := d.layout
+	if len(bLocal) != l.LocalN || len(xLocal) != l.LocalN {
+		return 0, fmt.Errorf("slu: DistSolver.SolveRefinedInto: local vectors have lengths %d/%d, want %d", len(bLocal), len(xLocal), l.LocalN)
+	}
+	if steps < 0 {
+		return 0, fmt.Errorf("slu: DistSolver.SolveRefinedInto: negative step count %d", steps)
+	}
+	return d.rootSolveInto(xLocal, bLocal, steps)
 }

@@ -45,6 +45,10 @@ type LU struct {
 	dr, dc  []float64 // equilibration scalings (nil when disabled)
 
 	anorm float64 // 1-norm of the (scaled) matrix, for RCond
+
+	// Lazily allocated scratch so repeated SolveInto/Refine calls do not
+	// allocate (steady-state reuse; see docs/PERFORMANCE.md).
+	workC, workR, workDx []float64
 }
 
 // N returns the order of the factored matrix.

@@ -9,11 +9,27 @@ import (
 
 // Solve computes x = A⁻¹·b for the factored matrix. b is not modified.
 func (f *LU) Solve(b []float64) ([]float64, error) {
+	x := make([]float64, f.n)
+	if err := f.SolveInto(x, b); err != nil {
+		return nil, err
+	}
+	return x, nil
+}
+
+// SolveInto computes x = A⁻¹·b into the caller-provided x (which must
+// have length n and may not alias b). Repeated calls do not allocate.
+func (f *LU) SolveInto(x, b []float64) error {
 	if len(b) != f.n {
-		return nil, fmt.Errorf("slu: Solve: rhs has length %d, want %d", len(b), f.n)
+		return fmt.Errorf("slu: Solve: rhs has length %d, want %d", len(b), f.n)
+	}
+	if len(x) != f.n {
+		return fmt.Errorf("slu: Solve: solution has length %d, want %d", len(x), f.n)
+	}
+	if f.workC == nil {
+		f.workC = make([]float64, f.n)
 	}
 	// c = P · Dr · b  (factor coordinates)
-	c := make([]float64, f.n)
+	c := f.workC
 	for r := 0; r < f.n; r++ {
 		v := b[r]
 		if f.dr != nil {
@@ -24,7 +40,6 @@ func (f *LU) Solve(b []float64) ([]float64, error) {
 	f.lSolve(c)
 	f.uSolve(c)
 	// x = Dc · Q · z
-	x := make([]float64, f.n)
 	for k := 0; k < f.n; k++ {
 		j := f.colPerm[k]
 		v := c[k]
@@ -33,7 +48,7 @@ func (f *LU) Solve(b []float64) ([]float64, error) {
 		}
 		x[j] = v
 	}
-	return x, nil
+	return nil
 }
 
 // SolveTranspose computes x = A⁻ᵀ·b.
@@ -135,14 +150,17 @@ func (f *LU) Refine(a *sparse.CSR, b, x []float64, steps int) (float64, error) {
 	if a.Rows != f.n || a.Cols != f.n {
 		return 0, fmt.Errorf("slu: Refine: matrix is %dx%d, factorization is order %d", a.Rows, a.Cols, f.n)
 	}
-	r := make([]float64, f.n)
+	if f.workR == nil {
+		f.workR = make([]float64, f.n)
+		f.workDx = make([]float64, f.n)
+	}
+	r, dx := f.workR, f.workDx
 	for s := 0; s < steps; s++ {
 		a.MulVec(r, x)
 		for i := range r {
 			r[i] = b[i] - r[i]
 		}
-		dx, err := f.Solve(r)
-		if err != nil {
+		if err := f.SolveInto(dx, r); err != nil {
 			return 0, err
 		}
 		sparse.Axpy(1, dx, x)

@@ -12,6 +12,7 @@ import (
 func benchOperator(n int) *CSR { return Laplace2D(n, n) }
 
 func BenchmarkSpMVFormats(b *testing.B) {
+	b.ReportAllocs()
 	a := benchOperator(100) // n=10,000, nnz≈49,600
 	x := RandomVector(a.Cols, 1)
 	y := make([]float64, a.Rows)
@@ -35,6 +36,7 @@ func BenchmarkSpMVFormats(b *testing.B) {
 	}
 	for _, tc := range mats {
 		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
 			b.SetBytes(int64(a.NNZ() * 8))
 			for i := 0; i < b.N; i++ {
 				tc.m.MulVec(y, x)
@@ -55,9 +57,11 @@ func evenPartition(n, blk int) []int {
 }
 
 func BenchmarkCOOToCSR(b *testing.B) {
+	b.ReportAllocs()
 	for _, n := range []int{50, 100, 200} {
 		coo := benchOperator(n).ToCOO()
 		b.Run(fmt.Sprintf("n=%d", n*n), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				coo.ToCSR()
 			}
@@ -66,6 +70,7 @@ func BenchmarkCOOToCSR(b *testing.B) {
 }
 
 func BenchmarkTranspose(b *testing.B) {
+	b.ReportAllocs()
 	a := benchOperator(100)
 	for i := 0; i < b.N; i++ {
 		a.Transpose()
@@ -73,6 +78,7 @@ func BenchmarkTranspose(b *testing.B) {
 }
 
 func BenchmarkMultiply(b *testing.B) {
+	b.ReportAllocs()
 	a := benchOperator(60)
 	for i := 0; i < b.N; i++ {
 		if _, err := Multiply(a, a); err != nil {
@@ -82,6 +88,7 @@ func BenchmarkMultiply(b *testing.B) {
 }
 
 func BenchmarkMSRConversion(b *testing.B) {
+	b.ReportAllocs()
 	a := benchOperator(100)
 	for i := 0; i < b.N; i++ {
 		if _, err := MSRFromCSR(a); err != nil {

@@ -8,6 +8,7 @@ import "testing"
 // the <2% wall-clock budget when telemetry is off.
 
 func BenchmarkNilRecorderAdd(b *testing.B) {
+	b.ReportAllocs()
 	var r *Recorder
 	for i := 0; i < b.N; i++ {
 		r.Add("ops", 1)
@@ -15,6 +16,7 @@ func BenchmarkNilRecorderAdd(b *testing.B) {
 }
 
 func BenchmarkNilRecorderStartPhase(b *testing.B) {
+	b.ReportAllocs()
 	var r *Recorder
 	for i := 0; i < b.N; i++ {
 		r.StartPhase(PhaseIterate)()
@@ -22,6 +24,7 @@ func BenchmarkNilRecorderStartPhase(b *testing.B) {
 }
 
 func BenchmarkNilRecorderResidual(b *testing.B) {
+	b.ReportAllocs()
 	var r *Recorder
 	for i := 0; i < b.N; i++ {
 		r.Residual(i, 1e-3)
@@ -29,6 +32,7 @@ func BenchmarkNilRecorderResidual(b *testing.B) {
 }
 
 func BenchmarkRecorderAdd(b *testing.B) {
+	b.ReportAllocs()
 	r := New()
 	for i := 0; i < b.N; i++ {
 		r.Add("ops", 1)
@@ -36,6 +40,7 @@ func BenchmarkRecorderAdd(b *testing.B) {
 }
 
 func BenchmarkRecorderStartPhase(b *testing.B) {
+	b.ReportAllocs()
 	r := New()
 	for i := 0; i < b.N; i++ {
 		r.StartPhase(PhaseIterate)()
@@ -43,6 +48,7 @@ func BenchmarkRecorderStartPhase(b *testing.B) {
 }
 
 func BenchmarkRecorderResidual(b *testing.B) {
+	b.ReportAllocs()
 	r := New()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -11,6 +11,13 @@
 # any guarded benchmark regresses more than BENCH_THRESHOLD_PCT percent
 # (default 25) over the checked-in baseline. Baselines are machine
 # dependent: refresh with --update when the reference machine changes.
+#
+# Benchmarks run with -benchmem, and each guarded benchmark also gets a
+# "<name>::allocs" baseline key gating its allocs/op: unlike ns/op,
+# allocation counts are deterministic, so the allowance is tight —
+# max(base·(1+threshold%), base+2) — which holds the zero-allocation
+# steady-state benchmarks (BenchmarkApplyAllocs,
+# BenchmarkSolveSteadyState) at zero.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -26,14 +33,15 @@ PKGS=(
   "./internal/sparse"
   "./internal/telemetry"
   "./internal/core"
+  "./internal/pmat"
 )
-PATTERN='^(BenchmarkCOOToCSR|BenchmarkTranspose|BenchmarkMSRConversion|BenchmarkNilRecorderAdd|BenchmarkNilRecorderStartPhase|BenchmarkRecorderAdd|BenchmarkRecorderResidual|BenchmarkSessionReuseSolve)$'
+PATTERN='^(BenchmarkCOOToCSR|BenchmarkTranspose|BenchmarkMSRConversion|BenchmarkNilRecorderAdd|BenchmarkNilRecorderStartPhase|BenchmarkRecorderAdd|BenchmarkRecorderResidual|BenchmarkSessionReuseSolve|BenchmarkSolveSteadyState|BenchmarkApplyAllocs)$'
 
 OUT="$(mktemp)"
 trap 'rm -f "$OUT"' EXIT
 
 for pkg in "${PKGS[@]}"; do
-  go test -run='^$' -bench="$PATTERN" -benchtime="$BENCHTIME" -count="$COUNT" "$pkg"
+  go test -run='^$' -bench="$PATTERN" -benchmem -benchtime="$BENCHTIME" -count="$COUNT" "$pkg"
 done >"$OUT"
 
 python3 - "$OUT" "$BASELINE" "$THRESHOLD" "${1:-}" "${PKGS[@]}" <<'PY'
@@ -44,14 +52,17 @@ pkgs = sys.argv[5:]
 threshold = float(threshold)
 
 # Collect the best (minimum) ns/op per benchmark: minima are the most
-# stable statistic for short benchmarks on shared machines. Track which
-# package produced each result ("pkg:" headers in `go test` output) so a
-# guarded package that silently stops producing benchmarks is an error,
-# not a pass.
+# stable statistic for short benchmarks on shared machines. With
+# -benchmem each line also carries allocs/op, recorded under a separate
+# "<name>::allocs" key. Track which package produced each result ("pkg:"
+# headers in `go test` output) so a guarded package that silently stops
+# producing benchmarks is an error, not a pass.
 results = {}
 per_pkg = {}
 cur_pkg = None
-line_re = re.compile(r"^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op")
+line_re = re.compile(
+    r"^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op"
+    r"(?:\s+[\d.]+ B/op\s+(\d+) allocs/op)?")
 pkg_re = re.compile(r"^pkg:\s+(\S+)$")
 for line in open(out_path):
     pm = pkg_re.match(line)
@@ -63,6 +74,9 @@ for line in open(out_path):
     if m:
         name, ns = m.group(1), float(m.group(2))
         results[name] = min(ns, results.get(name, float("inf")))
+        if m.group(3) is not None:
+            key = name + "::allocs"
+            results[key] = min(float(m.group(3)), results.get(key, float("inf")))
         if cur_pkg is not None:
             per_pkg[cur_pkg] += 1
 
@@ -100,14 +114,27 @@ for name, base in sorted(baseline.items()):
         failed = True
         continue
     now = results[name]
-    delta = 100.0 * (now - base) / base
+    if name.endswith("::allocs"):
+        # Allocation counts are deterministic; allow only the relative
+        # threshold or a flat +2 allocs, whichever is larger (a zero
+        # baseline therefore admits at most 2 stray allocations).
+        allowed = max(base * (1 + threshold / 100.0), base + 2)
+        status = "ok"
+        if now > allowed:
+            status = "REGRESSED"
+            failed = True
+        print(f"{status:9s} {name}: {base:.0f} -> {now:.0f} allocs/op "
+              f"(allowed {allowed:.0f})")
+        continue
+    delta = 100.0 * (now - base) / base if base else 0.0
     status = "ok"
     if delta > threshold:
         status = "REGRESSED"
         failed = True
     print(f"{status:9s} {name}: {base:.1f} -> {now:.1f} ns/op ({delta:+.1f}%)")
 for name in sorted(set(results) - set(baseline)):
-    print(f"NEW      {name}: {results[name]:.1f} ns/op (not in baseline)")
+    unit = "allocs/op" if name.endswith("::allocs") else "ns/op"
+    print(f"NEW      {name}: {results[name]:.1f} {unit} (not in baseline)")
 
 if missing:
     print(f"benchguard: FAIL - {len(missing)} baseline benchmark(s) never ran: "
