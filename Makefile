@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test check race vet fmt lint bench benchguard baseline telemetry clean
+.PHONY: all build test check race vet fmt lint bench benchguard baseline telemetry chaos fuzz clean
 
 all: check
 
@@ -44,6 +44,21 @@ baseline:
 telemetry:
 	$(GO) run ./cmd/lisi-bench -telemetry telemetry.json -runs 3
 	@echo "reports in telemetry.json"
+
+# chaos = the seeded fault-injection suite (docs/TESTING.md). Override the
+# seed to replay a CI failure: make chaos CHAOS_SEED=1337
+CHAOS_SEED ?=
+chaos:
+	CHAOS_SEED=$(CHAOS_SEED) $(GO) test -race -count=1 -v ./internal/fault ./internal/chaos
+
+# fuzz = CI's smoke: each native fuzz target for FUZZTIME (seed corpora in
+# testdata/fuzz/ replay in every plain `go test` run regardless).
+FUZZTIME ?= 10s
+fuzz:
+	for t in FuzzCSRFromTriplets FuzzNewCSRValidation; do \
+		$(GO) test -run='^$$' -fuzz="^$$t\$$" -fuzztime=$(FUZZTIME) ./internal/sparse || exit 1; done
+	for t in FuzzPartition FuzzGenerateRows; do \
+		$(GO) test -run='^$$' -fuzz="^$$t\$$" -fuzztime=$(FUZZTIME) ./internal/mesh || exit 1; done
 
 clean:
 	rm -f telemetry.json out.json

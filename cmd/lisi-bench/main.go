@@ -29,6 +29,8 @@ import (
 	"os/signal"
 
 	"repro/internal/bench"
+	"repro/internal/comm"
+	"repro/internal/fault"
 	"repro/internal/mesh"
 	"repro/internal/telemetry"
 )
@@ -49,6 +51,9 @@ func main() {
 	stat := flag.String("stat", "median", "aggregate repeated runs with \"median\" (robust) or \"mean\" (as the paper)")
 	timeout := flag.Duration("timeout", 0, "overall campaign deadline (0 = none); expiry exits with status 124")
 	telemetryOut := flag.String("telemetry", "", "write instrumented per-phase solve reports to this JSON file")
+	faultSpec := flag.String("fault-spec", "",
+		"arm this deterministic fault-injection schedule on every measurement world "+
+			"(measures resilience overhead; timings are NOT comparable to fault-free runs)")
 	flag.Parse()
 
 	experimentSet := false
@@ -73,6 +78,16 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q (want table1, fig5, or all)\n", *experiment)
 		os.Exit(2)
+	}
+
+	if *faultSpec != "" {
+		spec, err := fault.ParseSpec(*faultSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		bench.SetFaultInjector(func(size int) comm.FaultHook { return fault.New(spec, size) })
+		fmt.Fprintf(os.Stderr, "fault injection armed on every measurement world: %s\n", spec)
 	}
 
 	params := bench.DefaultParams()

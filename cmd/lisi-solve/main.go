@@ -32,6 +32,7 @@ import (
 
 	"repro/internal/comm"
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/pmat"
 	"repro/internal/sparse"
 	"repro/internal/telemetry"
@@ -41,6 +42,7 @@ import (
 // conventions (timeout(1) exits 124; 128+SIGINT = 130).
 const (
 	exitTimeout   = 124
+	exitInjected  = 125 // solve killed by a -fault-spec injected crash
 	exitInterrupt = 130
 )
 
@@ -70,6 +72,10 @@ func main() {
 	flag.Var(params, "set", "LISI parameter key=value (repeatable)")
 	telemetryOut := flag.String("telemetry", "", "write the instrumented solve report to this JSON file")
 	expvarAddr := flag.String("expvar", "", "serve telemetry at this address under /debug/vars until interrupted (e.g. :8080)")
+	faultSpec := flag.String("fault-spec", "",
+		"deterministic fault-injection schedule (e.g. from a chaos test log: seed=42,pdelay=0.05,maxdelay=500µs,...)")
+	failover := flag.String("failover", "", "comma-separated backends to fail over to on a method-specific failure")
+	maxAttempts := flag.Int("max-attempts", 1, "retry a retryable failure up to this many backend runs")
 	flag.Parse()
 
 	if *matrixPath == "" {
@@ -120,6 +126,20 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	var injector *fault.Injector
+	if *faultSpec != "" {
+		spec, err := fault.ParseSpec(*faultSpec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		injector = fault.New(spec, *procs)
+		world.SetFaultHook(injector)
+		fmt.Fprintf(os.Stderr, "fault injection armed: %s\n", spec)
+	}
+	var failoverChain []string
+	if *failover != "" {
+		failoverChain = strings.Split(*failover, ",")
+	}
 
 	// SIGINT cancels the session context; every blocked rank unblocks
 	// through the comm layer's cancel propagation.
@@ -146,6 +166,8 @@ func main() {
 			Recorder:     rec,
 			SolveTimeout: *timeout,
 			Params:       params,
+			Failover:     failoverChain,
+			MaxAttempts:  *maxAttempts,
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -202,12 +224,23 @@ func main() {
 		}
 	}
 
+	if injector != nil {
+		fmt.Fprintf(os.Stderr, "fault injections performed: %s\n", injector.Counts())
+	}
 	if runErr != nil {
 		exitAborted(runErr, report, *telemetryOut)
 	}
 
+	backend := *solver
+	if result.Backend != "" {
+		backend = result.Backend
+	}
 	fmt.Printf("solved %dx%d system (nnz=%d) with %s on %d ranks: iterations=%d residual=%.3e\n",
-		n, n, a.NNZ(), *solver, *procs, result.Iterations, result.Residual)
+		n, n, a.NNZ(), backend, *procs, result.Iterations, result.Residual)
+	if result.Attempts > 1 || (result.Backend != "" && result.Backend != *solver) {
+		fmt.Printf("resilience: %d attempts, final backend %s, fail reason %s\n",
+			result.Attempts, backend, result.FailReason)
+	}
 	if *outPath != "" {
 		f, err := os.Create(*outPath)
 		if err != nil {
@@ -242,11 +275,14 @@ func main() {
 
 // exitAborted reports a cancelled or failed Run region: cancellation
 // prints the partial telemetry and exits with the distinct status for a
-// deadline (124) or an interrupt (130); any other error is fatal.
+// deadline (124), an interrupt (130) or an injected fault (125); any
+// other error is fatal.
 func exitAborted(runErr error, report *telemetry.SolveReport, telemetryOut string) {
 	var status int
 	var reason string
 	switch {
+	case errors.Is(runErr, comm.ErrInjectedFault):
+		status, reason = exitInjected, runErr.Error()
 	case errors.Is(runErr, context.DeadlineExceeded):
 		status, reason = exitTimeout, "deadline exceeded"
 	case errors.Is(runErr, context.Canceled):

@@ -22,11 +22,17 @@ import (
 //     preceding SetupMatrix*/SetupRHS call on that receiver — the §5.2
 //     call-order contract (Initialize → setters → SetupMatrix* → SetupRHS
 //     → Solve). Solvers received as parameters or fields are assumed set
-//     up by the caller and are not checked.
+//     up by the caller and are not checked,
+//  4. a core.Session.Solve whose SolveResult is assigned to the blank
+//     identifier: the result carries the typed FailReason (and the
+//     Aborted/failover classification) that the resilience layer keys
+//     on — `_, err :=` throws away the only way to tell a breakdown
+//     from an injected-fault abort.
 var PortContract = &Analyzer{
 	Name: "portcontract",
-	Doc: "flags ignored status/error results of LISI port and solver driver calls, and Solve calls " +
-		"on a locally obtained SparseSolver that skip SetupMatrix*/SetupRHS",
+	Doc: "flags ignored status/error results of LISI port and solver driver calls, Solve calls " +
+		"on a locally obtained SparseSolver that skip SetupMatrix*/SetupRHS, and discarded " +
+		"Session.Solve results (typed FailReason thrown away)",
 	Run: runPortContract,
 }
 
@@ -80,6 +86,15 @@ func checkDiscarded(pass *Pass, iface *types.Interface, body *ast.BlockStmt) {
 			if allBlank(n.Lhs) {
 				reportDiscardedCall(pass, iface, call, "assigned to _")
 				return true
+			}
+			if name, ok := sessionSolveCall(info, call); ok && len(n.Lhs) == 2 {
+				if id, ok := n.Lhs[0].(*ast.Ident); ok && id.Name == "_" {
+					pass.Report(call.Pos(),
+						"SolveResult of "+name+" assigned to _; the typed FailReason (breakdown vs divergence vs "+
+							"injected-fault abort) and the retry/failover classification are discarded",
+						"keep the result and inspect res.FailReason/res.Aborted (or suppress with //lisi:ignore portcontract <reason>)")
+					return true
+				}
 			}
 			if name, ok := portEntryErrorCall(info, call); ok && len(n.Lhs) > 1 {
 				if id, ok := n.Lhs[len(n.Lhs)-1].(*ast.Ident); ok && id.Name == "_" {
@@ -164,6 +179,34 @@ func portEntryErrorCall(info *types.Info, call *ast.CallExpr) (string, bool) {
 		return "", false
 	}
 	return exprString(sel.X) + "." + sel.Sel.Name, true
+}
+
+// sessionSolveCall reports whether call is core.Session.Solve (the
+// service-level entry whose first result carries the typed FailReason),
+// returning a printable name.
+func sessionSolveCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Solve" {
+		return "", false
+	}
+	tv, ok := info.Types[sel.X]
+	if !ok || !isCoreSession(tv.Type) {
+		return "", false
+	}
+	return exprString(sel.X) + ".Solve", true
+}
+
+// isCoreSession matches core.Session and *core.Session.
+func isCoreSession(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == "Session" && obj.Pkg() != nil && strings.HasSuffix(obj.Pkg().Path(), "internal/core")
 }
 
 // checkSolveDominated flags X.Solve(...) on a SparseSolver X obtained in

@@ -80,3 +80,27 @@ func suppressed(s core.SparseSolver, b []float64) {
 	//lisi:ignore portcontract fixture: exercising the suppression path
 	s.SetupRHS(b, len(b), 1)
 }
+
+// blankSessionResult throws away the SolveResult — and with it the
+// typed FailReason the resilience layer reports — keeping only the
+// error. The analyzer must flag the blank first result.
+func blankSessionResult(s *core.Session, x []float64) error {
+	_, err := s.Solve(nil, x) // want "SolveResult of s.Solve assigned to _"
+	return err
+}
+
+// keptSessionResult inspects the typed result; nothing to flag.
+func keptSessionResult(s *core.Session, x []float64) core.FailReason {
+	res, err := s.Solve(nil, x)
+	if err != nil {
+		return res.FailReason
+	}
+	return core.FailNone
+}
+
+// suppressedSessionResult documents why the result is dropped.
+func suppressedSessionResult(s *core.Session, x []float64) error {
+	//lisi:ignore portcontract fixture: exercising the suppression path
+	_, err := s.Solve(nil, x)
+	return err
+}

@@ -70,6 +70,32 @@ func (s Solver) class() (string, error) {
 	return info.Class, nil
 }
 
+// faultHookFor, when set, arms a deterministic fault-injection hook on
+// every measurement world the harness creates. The constructor is called
+// with the world size once per world, so each measurement replays the
+// schedule from event zero — repeated runs stay comparable.
+var faultHookFor func(size int) comm.FaultHook
+
+// SetFaultInjector installs (or, with nil, removes) the constructor used
+// to arm fault injection on the harness's worlds. Used to measure solver
+// resilience overhead under a chaos schedule (cmd/lisi-bench -fault-spec).
+func SetFaultInjector(fn func(size int) comm.FaultHook) { faultHookFor = fn }
+
+// newWorld builds one measurement world, armed with the configured fault
+// hook when one is installed.
+func newWorld(p int) (*comm.World, error) {
+	w, err := comm.NewWorld(p)
+	if err != nil {
+		return nil, err
+	}
+	if faultHookFor != nil {
+		if h := faultHookFor(p); h != nil {
+			w.SetFaultHook(h)
+		}
+	}
+	return w, nil
+}
+
 // DefaultParams returns the LISI parameters used by the experiments:
 // GMRES(30) with ILU-class preconditioning at tolerance 1e-6 (ignored by
 // the direct component).
@@ -98,7 +124,7 @@ func RunCCA(ctx context.Context, p int, solver Solver, gridN int, params map[str
 		return Measurement{}, err
 	}
 	problem := mesh.PaperProblem(gridN)
-	w, err := comm.NewWorld(p)
+	w, err := newWorld(p)
 	if err != nil {
 		return Measurement{}, err
 	}
@@ -150,7 +176,7 @@ func RunNonCCA(ctx context.Context, p int, solver Solver, gridN int, params map[
 		return Measurement{}, err
 	}
 	problem := mesh.PaperProblem(gridN)
-	w, err := comm.NewWorld(p)
+	w, err := newWorld(p)
 	if err != nil {
 		return Measurement{}, err
 	}

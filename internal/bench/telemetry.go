@@ -62,7 +62,7 @@ func RunCCAReport(ctx context.Context, p int, solver Solver, gridN int, params m
 		return nil, err
 	}
 	problem := mesh.PaperProblem(gridN)
-	w, err := comm.NewWorld(p)
+	w, err := newWorld(p)
 	if err != nil {
 		return nil, err
 	}
@@ -129,7 +129,7 @@ func RunNonCCAReport(ctx context.Context, p int, solver Solver, gridN int, param
 		return nil, err
 	}
 	problem := mesh.PaperProblem(gridN)
-	w, err := comm.NewWorld(p)
+	w, err := newWorld(p)
 	if err != nil {
 		return nil, err
 	}

@@ -82,6 +82,9 @@ func (b *barrier) await(done <-chan struct{}) awaitResult {
 // world — see the package comment on cancellation).
 func (c *Comm) Barrier() {
 	c.checkCtx()
+	if fr := c.w.fault; fr != nil {
+		c.faultPoint(fr, FaultBarrier, -1, -1)
+	}
 	st := &c.w.stats[c.rank]
 	st.barriers.Add(1)
 	start := time.Now()

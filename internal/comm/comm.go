@@ -58,6 +58,10 @@ type World struct {
 	// boundaries by design.
 	pool sync.Pool
 
+	// fault is the optional injection state installed by SetFaultHook
+	// (nil in production: the fast paths pay one nil check).
+	fault *faultRuntime
+
 	// causeMu guards cause, the first cancellation error recorded before
 	// the abort machinery fired (nil for a plain Abort).
 	causeMu sync.Mutex
@@ -300,6 +304,11 @@ func (w *World) run(ctx context.Context, fn func(c *Comm)) error {
 		}(r)
 	}
 	wg.Wait()
+	if fr := w.fault; fr != nil {
+		// Injected redeliveries may still be in flight; a Run region
+		// must not return while a goroutine of its own is alive.
+		fr.wg.Wait()
+	}
 	if firstErr != nil {
 		return firstErr
 	}

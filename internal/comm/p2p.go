@@ -111,7 +111,13 @@ func (c *Comm) send(dest, tag int, data any) {
 	st := &c.w.stats[c.rank]
 	st.sends.Add(1)
 	st.bytesSent.Add(payloadBytes(data))
-	c.w.mail[dest].put(message{src: c.rank, tag: tag, data: data})
+	msg := message{src: c.rank, tag: tag, data: data}
+	if fr := c.w.fault; fr != nil {
+		if c.faultBeforeSend(fr, dest, tag, msg) {
+			return // consumed: scheduled for asynchronous redelivery
+		}
+	}
+	c.w.mail[dest].put(msg)
 }
 
 // recv blocks for a payload matching (src, tag) and returns it together
@@ -121,6 +127,9 @@ func (c *Comm) recv(src, tag int) (any, int) {
 		c.checkPeer(src)
 	}
 	c.checkCtx()
+	if fr := c.w.fault; fr != nil {
+		c.faultPoint(fr, FaultRecv, src, tag)
+	}
 	msg, res := c.w.mail[c.rank].take(src, tag, c.ctxDone())
 	switch res {
 	case awaitAborted:

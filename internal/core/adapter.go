@@ -473,8 +473,8 @@ func (b *baseAdapter) solvePrep(solution, status []float64, numLocalRow int) int
 }
 
 // writeStatus fills the inout status array respecting statusLength.
-func writeStatus(status []float64, statusLength int, its int, rnorm float64, converged bool, factorizations int) {
-	vals := [StatusLen]float64{float64(its), rnorm, 0, float64(factorizations)}
+func writeStatus(status []float64, statusLength int, its int, rnorm float64, converged bool, factorizations int, reason FailReason) {
+	vals := [StatusLen]float64{float64(its), rnorm, 0, float64(factorizations), float64(reason)}
 	if converged {
 		vals[StatusConverged] = 1
 	}

@@ -259,14 +259,30 @@ func (ac *AztecComponent) Solve(solution []float64, status []float64, numLocalRo
 			x[i] = 0
 		}
 		if err := s.Solve(x, b); err != nil {
-			writeStatus(status, statusLength, s.NumIters(), s.Status()[aztec.AZr], false, ac.factorizations)
+			writeStatus(status, statusLength, s.NumIters(), s.Status()[aztec.AZr], false, ac.factorizations,
+				classifyAztecFailure(s, err))
 			return ErrSolveFailed
 		}
 		totalIts += s.NumIters()
 		lastNorm = s.Status()[aztec.AZr]
 	}
-	writeStatus(status, statusLength, totalIts, lastNorm, true, ac.factorizations)
+	writeStatus(status, statusLength, totalIts, lastNorm, true, ac.factorizations, FailNone)
 	return OK
+}
+
+// classifyAztecFailure normalizes aztec's status[AZWhy] termination
+// codes (and textual setup errors such as ILUT zero pivots) into a
+// FailReason.
+func classifyAztecFailure(s *aztec.Solver, err error) FailReason {
+	switch int(s.Status()[aztec.AZWhy]) {
+	case aztec.AZMaxIts:
+		return FailMaxIterations
+	case aztec.AZBreakdown:
+		return FailBreakdown
+	case aztec.AZIllCond:
+		return FailSingular
+	}
+	return classifySolveError(err)
 }
 
 // aztecMapFromLayout rebuilds an aztec.Map over an existing layout

@@ -245,14 +245,29 @@ func (kc *KSPComponent) Solve(solution []float64, status []float64, numLocalRow,
 		b := kc.rhs[r*numLocalRow : (r+1)*numLocalRow]
 		x := solution[r*numLocalRow : (r+1)*numLocalRow]
 		if err := k.Solve(b, x); err != nil {
-			writeStatus(status, statusLength, k.Iterations(), k.ResidualNorm(), false, kc.factorizations)
+			writeStatus(status, statusLength, k.Iterations(), k.ResidualNorm(), false, kc.factorizations,
+				kc.classifyFailure(err))
 			return ErrSolveFailed
 		}
 		totalIts += k.Iterations()
 		lastNorm = k.ResidualNorm()
 	}
-	writeStatus(status, statusLength, totalIts, lastNorm, true, kc.factorizations)
+	writeStatus(status, statusLength, totalIts, lastNorm, true, kc.factorizations, FailNone)
 	return OK
+}
+
+// classifyFailure normalizes ksp's PETSc-style ConvergedReason codes
+// (and its setup errors, e.g. ILU zero pivots) into a FailReason.
+func (kc *KSPComponent) classifyFailure(err error) FailReason {
+	switch kc.k.Reason() {
+	case ksp.DivergedMaxIts:
+		return FailMaxIterations
+	case ksp.DivergedBreakdown, ksp.DivergedIndefinitePC:
+		return FailBreakdown
+	case ksp.DivergedDTol:
+		return FailDivergence
+	}
+	return classifySolveError(err)
 }
 
 func init() {

@@ -120,7 +120,7 @@ func (mc *MGComponent) coarseSolve(a *sparse.CSR, b []float64) ([]float64, error
 	if mc.coarseL == nil || mc.coarseL.N != a.Rows || mc.coarseL.Comm() != c {
 		// The key (coarsest order, communicator) is identical on every
 		// rank, so all ranks enter the collective NewLayout together.
-		l, err := pmat.NewLayout(c, evenLocal(c.Rank(), c.Size(), a.Rows))
+		l, err := pmat.NewLayout(c, mesh.LocalRows(a.Rows, c.Size(), c.Rank()))
 		if err != nil {
 			return nil, err
 		}
@@ -157,15 +157,6 @@ func (mc *MGComponent) coarseSolve(a *sparse.CSR, b []float64) ([]float64, error
 		return nil, Check(code)
 	}
 	return pmat.AllGatherInto(l, mc.coarseGlob, x), nil
-}
-
-// evenLocal mirrors pmat.EvenLayout's split without a collective.
-func evenLocal(rank, size, n int) int {
-	local := n / size
-	if rank < n%size {
-		local++
-	}
-	return local
 }
 
 // Solve implements the LISI solve on the multigrid backend.
@@ -248,13 +239,16 @@ func (mc *MGComponent) Solve(solution []float64, status []float64, numLocalRow, 
 			x[i] = 0
 		}
 		if err := mc.solver.Solve(b, x); err != nil {
-			writeStatus(status, statusLength, mc.solver.Cycles(), mc.solver.ResidualNorm(), false, mc.factorizations)
+			// mg reports "diverged at cycle N" or "no convergence in N
+			// cycles"; classifySolveError maps both.
+			writeStatus(status, statusLength, mc.solver.Cycles(), mc.solver.ResidualNorm(), false,
+				mc.factorizations, classifySolveError(err))
 			return ErrSolveFailed
 		}
 		totalCycles += mc.solver.Cycles()
 		lastNorm = mc.solver.ResidualNorm()
 	}
-	writeStatus(status, statusLength, totalCycles, lastNorm, true, mc.factorizations)
+	writeStatus(status, statusLength, totalCycles, lastNorm, true, mc.factorizations, FailNone)
 	return OK
 }
 

@@ -146,7 +146,7 @@ func (sc *SLUComponent) Solve(solution []float64, status []float64, numLocalRow,
 		d, err := slu.NewDistSolver(pm, sc.options())
 		stopSetup()
 		if err != nil {
-			writeStatus(status, statusLength, 0, 0, false, sc.factorizations)
+			writeStatus(status, statusLength, 0, 0, false, sc.factorizations, classifySolveError(err))
 			return ErrSolveFailed
 		}
 		sc.dist = d
@@ -164,12 +164,12 @@ func (sc *SLUComponent) Solve(solution []float64, status []float64, numLocalRow,
 		b := sc.rhs[r*numLocalRow : (r+1)*numLocalRow]
 		res, err := sc.dist.SolveRefinedInto(solution[r*numLocalRow:(r+1)*numLocalRow], b, refineSteps)
 		if err != nil {
-			writeStatus(status, statusLength, 0, 0, false, sc.factorizations)
+			writeStatus(status, statusLength, 0, 0, false, sc.factorizations, classifySolveError(err))
 			return ErrSolveFailed
 		}
 		lastRes = res
 	}
-	writeStatus(status, statusLength, 0, lastRes, true, sc.factorizations)
+	writeStatus(status, statusLength, 0, lastRes, true, sc.factorizations, FailNone)
 	return OK
 }
 

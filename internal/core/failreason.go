@@ -1,0 +1,118 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// FailReason is the normalized, backend-independent classification of a
+// failed solve. Every component translates its own failure vocabulary —
+// ksp's ConvergedReason codes, aztec's status[AZWhy], slu's singularity
+// errors, mg's cycle divergence — into this one enum and reports it in
+// status[StatusFailReason], so the Session layer can decide uniformly
+// whether to retry, back off, or fail over to another registry backend
+// (the PETSc-reason-code model of PAPERS.md applied across the whole
+// registry).
+type FailReason int
+
+const (
+	// FailNone: the solve did not fail.
+	FailNone FailReason = iota
+	// FailMaxIterations: the iteration budget ran out before the
+	// tolerance was met. More iterations (a retry continues from the
+	// current iterate on backends that honor initial guesses) or a
+	// different method may converge.
+	FailMaxIterations
+	// FailBreakdown: a Krylov breakdown (zero inner product, indefinite
+	// preconditioner application) stopped the method. Method-specific:
+	// another method may solve the same system.
+	FailBreakdown
+	// FailDivergence: the residual grew past the divergence tolerance.
+	FailDivergence
+	// FailSingular: the matrix (or a preconditioner factor) is
+	// structurally or numerically singular — zero pivots, empty
+	// columns. Retrying the same method is pointless.
+	FailSingular
+	// FailUnsupported: the component cannot solve this problem shape at
+	// all (e.g. geometric mg staged with a non-model operator).
+	FailUnsupported
+	// FailAborted: the solve was killed by cancellation, deadline, or
+	// an injected fault; the world is poisoned.
+	FailAborted
+)
+
+// String returns the snake_case reason name (used as a telemetry label).
+func (r FailReason) String() string {
+	switch r {
+	case FailNone:
+		return "none"
+	case FailMaxIterations:
+		return "max_iterations"
+	case FailBreakdown:
+		return "breakdown"
+	case FailDivergence:
+		return "divergence"
+	case FailSingular:
+		return "singular"
+	case FailUnsupported:
+		return "unsupported"
+	case FailAborted:
+		return "aborted"
+	}
+	return fmt.Sprintf("FailReason(%d)", int(r))
+}
+
+// Retryable reports whether re-running the same backend could plausibly
+// succeed: iteration exhaustion continues from the current iterate on
+// backends that honor initial guesses, and breakdowns can resolve from
+// a different starting point. Singular systems, unsupported shapes and
+// aborts never benefit from a retry.
+func (r FailReason) Retryable() bool {
+	switch r {
+	case FailMaxIterations, FailBreakdown, FailDivergence:
+		return true
+	}
+	return false
+}
+
+// FailoverEligible reports whether a different backend might succeed
+// where this one failed: every method-specific failure qualifies; a
+// user cancel or poisoned world (FailAborted) never does.
+func (r FailReason) FailoverEligible() bool {
+	switch r {
+	case FailMaxIterations, FailBreakdown, FailDivergence, FailSingular, FailUnsupported:
+		return true
+	}
+	return false
+}
+
+// failReasonFromStatus decodes the StatusFailReason slot.
+func failReasonFromStatus(status []float64) FailReason {
+	if len(status) <= StatusFailReason {
+		return FailNone
+	}
+	r := FailReason(int(status[StatusFailReason]))
+	if r < FailNone || r > FailAborted {
+		return FailNone
+	}
+	return r
+}
+
+// classifySolveError maps a native solver error message onto a
+// FailReason for backends whose failure vocabulary is textual (slu's
+// singularity diagnostics, ILU/ILUT zero pivots, mg's cycle reports).
+func classifySolveError(err error) FailReason {
+	if err == nil {
+		return FailNone
+	}
+	msg := err.Error()
+	switch {
+	case strings.Contains(msg, "singular"), strings.Contains(msg, "zero pivot"):
+		return FailSingular
+	case strings.Contains(msg, "no convergence"), strings.Contains(msg, "max"):
+		return FailMaxIterations
+	case strings.Contains(msg, "diverged"):
+		return FailDivergence
+	}
+	return FailBreakdown
+}

@@ -109,7 +109,8 @@ const (
 	StatusResidual       = 1 // final residual norm reported by the solver
 	StatusConverged      = 2 // 1 converged / 0 failed
 	StatusFactorizations = 3 // cumulative factorization/setup count (reuse diagnostics)
-	StatusLen            = 4 // minimum useful StatusLength
+	StatusFailReason     = 4 // typed failure reason (a FailReason value; 0 = none)
+	StatusLen            = 5 // minimum useful StatusLength
 )
 
 // MatrixFree is the application-side provides port (SIDL interface

@@ -23,20 +23,49 @@ type SessionOptions struct {
 	// Params are LISI key=value parameters applied (in sorted key order,
 	// for SPMD determinism) right after the component is opened.
 	Params map[string]string
+
+	// MaxAttempts bounds how many times one Solve call may run the
+	// active backend before giving up (0 and 1 both mean a single
+	// attempt). Only retryable FailReasons (see FailReason.Retryable)
+	// are retried; each retry is counted in lisi.solve_retries.
+	MaxAttempts int
+	// RetryBackoff is the wait before the second attempt, doubling on
+	// every further one. The wait honors the solve context.
+	RetryBackoff time.Duration
+	// Failover names registry backends to try, in order, when the
+	// active backend fails with a method-specific FailReason (never on
+	// a cancellation or injected-fault abort — the world is poisoned
+	// then). The staged system and parameters are re-staged into the
+	// replacement automatically; parameters outside the replacement's
+	// vocabulary are skipped. Collective: every rank walks the same
+	// chain in lockstep. Each switch is counted in lisi.solve_failovers.
+	Failover []string
 }
 
 // SolveResult is the decoded Status array of one Solve, plus the
-// cancellation outcome.
+// retry/failover and cancellation outcome.
 type SolveResult struct {
 	Iterations     int
 	Residual       float64
 	Converged      bool
 	Factorizations int
 
-	// Aborted is set when the solve was killed by context cancellation
-	// or deadline expiry; AbortReason distinguishes the two. An aborted
-	// solve poisons the session's world: the Session refuses further
-	// calls and a fresh World must be created to solve again.
+	// FailReason is the normalized failure classification (FailNone on
+	// success) — the typed code the retry and failover policies key on.
+	FailReason FailReason
+	// Attempts counts backend runs this Solve performed across retries
+	// and failover switches (1 for an undisturbed solve).
+	Attempts int
+	// Backend is the registry name of the backend that produced this
+	// result; it differs from the session's opening backend after a
+	// failover.
+	Backend string
+
+	// Aborted is set when the solve was killed by context cancellation,
+	// deadline expiry, or an injected fault; AbortReason distinguishes
+	// them ("canceled", "deadline_exceeded", "fault_injected"). An
+	// aborted solve poisons the session's world: the Session refuses
+	// further calls and a fresh World must be created to solve again.
 	Aborted     bool
 	AbortReason string
 }
@@ -57,6 +86,7 @@ type Session struct {
 	c       *comm.Comm
 	rec     *telemetry.Recorder
 	timeout time.Duration
+	opts    SessionOptions
 
 	layout    *pmat.Layout
 	nRhs      int
@@ -65,8 +95,17 @@ type Session struct {
 	closed    bool
 	dead      bool // world poisoned by a cancelled/aborted solve
 
-	solves  int
-	aborted int
+	// Staged-system references retained for failover re-staging: the
+	// local matrix block or matrix-free operator, and (only when a
+	// failover chain is configured) a private copy of the right-hand
+	// sides.
+	localA  *sparse.CSR
+	mf      MatrixFree
+	rhsCopy []float64
+
+	solves    int
+	aborted   int
+	failovers int
 
 	status [StatusLen]float64 // reused per-solve status staging
 }
@@ -96,6 +135,12 @@ func OpenSession(backend string, c *comm.Comm, opts SessionOptions) (*Session, e
 		c:       c,
 		rec:     opts.Recorder,
 		timeout: opts.SolveTimeout,
+		opts:    opts,
+	}
+	for _, name := range opts.Failover {
+		if _, ok := Lookup(name); !ok {
+			return nil, fmt.Errorf("core: failover backend %q is not registered", name)
+		}
 	}
 	if ins, ok := solver.(Instrumented); ok {
 		ins.SetRecorder(opts.Recorder)
@@ -174,6 +219,8 @@ func (s *Session) Setup(l *pmat.Layout, a *sparse.CSR) error {
 		}
 	}
 	s.layout = l
+	s.localA = a
+	s.mf = nil
 	s.matStaged = true
 	return nil
 }
@@ -200,6 +247,8 @@ func (s *Session) SetupOperator(l *pmat.Layout, mf MatrixFree) error {
 		}
 	}
 	s.layout = l
+	s.localA = nil
+	s.mf = mf
 	s.matStaged = true
 	return nil
 }
@@ -216,16 +265,37 @@ func (s *Session) SetupRHS(b []float64, nRhs int) error {
 	if code := s.solver.SetupRHS(b, s.layout.LocalN, nRhs); code != OK {
 		return Check(code)
 	}
+	if len(s.opts.Failover) > 0 {
+		// Failover re-stages the right-hand sides into the replacement
+		// backend, so the session needs its own copy (the caller may
+		// mutate b after staging). Capacity reuse keeps re-staging a
+		// same-sized rhs allocation-free.
+		need := s.layout.LocalN * nRhs
+		if cap(s.rhsCopy) < need {
+			s.rhsCopy = make([]float64, need)
+		}
+		s.rhsCopy = s.rhsCopy[:need]
+		copy(s.rhsCopy, b[:need])
+	}
 	s.nRhs = nRhs
 	s.rhsStaged = true
 	return nil
 }
 
 // Solve solves the staged system into x (LocalN·nRhs values) under ctx
-// plus the session's per-solve timeout. On cancellation or deadline
-// expiry every rank's Solve returns a result with Aborted set and an
-// error wrapping the context cause; the abort is also recorded in
-// telemetry as PhaseAborted with an "abort_reason" label.
+// plus the session's per-solve timeout. On cancellation, deadline
+// expiry, or an injected fault every rank's Solve returns a result with
+// Aborted set and an error wrapping the context cause; the abort is
+// also recorded in telemetry as PhaseAborted with an "abort_reason"
+// label.
+//
+// When SessionOptions.MaxAttempts allows, retryable failures
+// (FailReason.Retryable) are re-run on the same backend with
+// exponential backoff; when a Failover chain is configured,
+// method-specific failures then walk the chain, re-staging the system
+// into each replacement backend in turn. Both policies are SPMD
+// deterministic: every rank takes the same retry/failover decisions
+// because they derive from the collectively identical FailReason.
 func (s *Session) Solve(ctx context.Context, x []float64) (SolveResult, error) {
 	if err := s.usable(); err != nil {
 		return SolveResult{}, err
@@ -242,6 +312,80 @@ func (s *Session) Solve(ctx context.Context, x []float64) (SolveResult, error) {
 		defer cancel()
 	}
 	s.solves++
+
+	res, err := s.solveAttempts(ctx, x)
+	if err == nil || res.Aborted || !res.FailReason.FailoverEligible() || len(s.opts.Failover) == 0 {
+		return res, err
+	}
+	totalAttempts := res.Attempts
+	for _, name := range s.opts.Failover {
+		if name == s.info.Name {
+			continue
+		}
+		if ferr := s.failoverTo(name); ferr != nil {
+			// The replacement could not accept the staged system (e.g. a
+			// direct backend offered a matrix-free operator); keep walking.
+			continue
+		}
+		s.failovers++
+		s.rec.Add("lisi.solve_failovers", 1)
+		res2, err2 := s.solveAttempts(ctx, x)
+		totalAttempts += res2.Attempts
+		res2.Attempts = totalAttempts
+		res, err = res2, err2
+		if err2 == nil || res2.Aborted {
+			return res, err
+		}
+	}
+	return res, err
+}
+
+// solveAttempts runs the active backend up to MaxAttempts times,
+// retrying only transient (retryable) failures with doubling backoff.
+func (s *Session) solveAttempts(ctx context.Context, x []float64) (SolveResult, error) {
+	maxAttempts := s.opts.MaxAttempts
+	if maxAttempts < 1 {
+		maxAttempts = 1
+	}
+	backoff := s.opts.RetryBackoff
+	var res SolveResult
+	var err error
+	for attempt := 1; ; attempt++ {
+		res, err = s.solveOnce(ctx, x)
+		res.Attempts = attempt
+		res.Backend = s.info.Name
+		if err == nil || res.Aborted || attempt >= maxAttempts || !res.FailReason.Retryable() {
+			return res, err
+		}
+		s.rec.Add("lisi.solve_retries", 1)
+		if backoff > 0 {
+			if serr := sleepCtx(ctx, backoff); serr != nil {
+				return res, err
+			}
+			backoff *= 2
+		}
+	}
+}
+
+// sleepCtx waits d, returning early with the context's error if it is
+// cancelled first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if ctx.Done() == nil {
+		time.Sleep(d)
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return context.Cause(ctx)
+	}
+}
+
+// solveOnce performs exactly one backend run and decodes its status.
+func (s *Session) solveOnce(ctx context.Context, x []float64) (SolveResult, error) {
 	start := time.Now()
 	status := s.status[:]
 	for i := range status {
@@ -252,13 +396,16 @@ func (s *Session) Solve(ctx context.Context, x []float64) (SolveResult, error) {
 		s.dead = true
 		s.aborted++
 		reason := "canceled"
-		if errors.Is(abortCause, context.DeadlineExceeded) {
+		switch {
+		case errors.Is(abortCause, comm.ErrInjectedFault):
+			reason = "fault_injected"
+		case errors.Is(abortCause, context.DeadlineExceeded):
 			reason = "deadline_exceeded"
 		}
 		s.rec.AddPhase(telemetry.PhaseAborted, time.Since(start))
 		s.rec.Add("lisi.solves_aborted", 1)
 		s.rec.SetLabel("abort_reason", reason)
-		res := SolveResult{Aborted: true, AbortReason: reason}
+		res := SolveResult{Aborted: true, AbortReason: reason, FailReason: FailAborted}
 		return res, fmt.Errorf("%w: %w", Check(ErrAborted), abortCause)
 	}
 	res := SolveResult{
@@ -266,11 +413,83 @@ func (s *Session) Solve(ctx context.Context, x []float64) (SolveResult, error) {
 		Residual:       status[StatusResidual],
 		Converged:      status[StatusConverged] == 1,
 		Factorizations: int(status[StatusFactorizations]),
+		FailReason:     failReasonFromStatus(status),
 	}
 	if code != OK {
+		if res.FailReason == FailNone {
+			// The component failed before reaching its solver (bad state,
+			// unsupported mode): normalize from the status code alone.
+			switch code {
+			case ErrUnsupported:
+				res.FailReason = FailUnsupported
+			default:
+				res.FailReason = FailBreakdown
+			}
+		}
+		s.rec.SetLabel("fail_reason", res.FailReason.String())
 		return res, Check(code)
 	}
 	return res, nil
+}
+
+// failoverTo opens the named registry backend, replays the session's
+// parameters (skipping keys outside the replacement's vocabulary) and
+// re-stages the retained system and right-hand sides into it. On any
+// error the active backend is left untouched.
+func (s *Session) failoverTo(name string) error {
+	solver, err := Open(name)
+	if err != nil {
+		return err
+	}
+	info, _ := Lookup(name)
+	if ins, ok := solver.(Instrumented); ok {
+		ins.SetRecorder(s.rec)
+	}
+	if code := solver.Initialize(s.c); code != OK {
+		return Check(code)
+	}
+	keys := make([]string, 0, len(s.opts.Params))
+	for k := range s.opts.Params {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		switch code := solver.Set(k, s.opts.Params[k]); code {
+		case OK, ErrUnknownKey, ErrBadArg:
+			// Vocabulary mismatches are expected across backends (§6.5);
+			// the replacement runs with its own defaults for those keys.
+		default:
+			return Check(code)
+		}
+	}
+	steps := []func() int{
+		func() int { return solver.SetStartRow(s.layout.Start) },
+		func() int { return solver.SetLocalRows(s.layout.LocalN) },
+		func() int { return solver.SetGlobalCols(s.layout.N) },
+	}
+	if s.mf != nil {
+		steps = append(steps, func() int { return solver.SetMatrixFree(s.mf) })
+	} else {
+		a := s.localA
+		steps = append(steps,
+			func() int { return solver.SetLocalNNZ(a.NNZ()) },
+			func() int {
+				return solver.SetupMatrix(a.Vals, a.RowPtr, a.ColInd, CSR, len(a.RowPtr), a.NNZ())
+			},
+		)
+	}
+	steps = append(steps, func() int {
+		return solver.SetupRHS(s.rhsCopy, s.layout.LocalN, s.nRhs)
+	})
+	for _, step := range steps {
+		if code := step(); code != OK {
+			return Check(code)
+		}
+	}
+	s.solver = solver
+	s.info = info
+	s.rec.SetLabel("backend", info.Name)
+	return nil
 }
 
 // solveRecover runs the backend's Solve with ctx bound to the
@@ -311,6 +530,9 @@ func (s *Session) solveRecover(ctx context.Context, x, status []float64) (code i
 
 // Stats returns how many solves this session ran and how many aborted.
 func (s *Session) Stats() (solves, aborted int) { return s.solves, s.aborted }
+
+// Failovers returns how many backend switches this session performed.
+func (s *Session) Failovers() int { return s.failovers }
 
 // Close ends the session. The component is released; further calls
 // return ErrSessionClosed. Close is idempotent.

@@ -1,0 +1,123 @@
+package mesh
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzPartition checks the block-row partitioner's invariants for
+// arbitrary (n, parts): full coverage without gaps or overlap, monotone
+// boundaries, balance within one row, and agreement with the LocalRows
+// shortcut.
+func FuzzPartition(f *testing.F) {
+	f.Add(81, 4)
+	f.Add(0, 1)
+	f.Add(1, 7)
+	f.Add(144, 12)
+	f.Add(-3, 2)
+	f.Add(5, 0)
+	f.Fuzz(func(t *testing.T, n, parts int) {
+		starts, err := PartitionRows(n, parts)
+		if n < 0 || parts < 1 {
+			if err == nil {
+				t.Fatalf("PartitionRows(%d, %d) accepted invalid input", n, parts)
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("PartitionRows(%d, %d): %v", n, parts, err)
+		}
+		if len(starts) != parts+1 {
+			t.Fatalf("got %d boundaries, want %d", len(starts), parts+1)
+		}
+		if starts[0] != 0 || starts[parts] != n {
+			t.Fatalf("boundaries [%d..%d] do not cover [0..%d]", starts[0], starts[parts], n)
+		}
+		minLocal, maxLocal := math.MaxInt, 0
+		for p := 0; p < parts; p++ {
+			local := starts[p+1] - starts[p]
+			if local < 0 {
+				t.Fatalf("part %d has negative size %d", p, local)
+			}
+			if got := LocalRows(n, parts, p); got != local {
+				t.Fatalf("LocalRows(%d,%d,%d) = %d, boundaries say %d", n, parts, p, got, local)
+			}
+			if local < minLocal {
+				minLocal = local
+			}
+			if local > maxLocal {
+				maxLocal = local
+			}
+		}
+		if maxLocal-minLocal > 1 {
+			t.Fatalf("imbalance %d (sizes span [%d,%d])", maxLocal-minLocal, minLocal, maxLocal)
+		}
+	})
+}
+
+// FuzzGenerateRows checks that the distributed mesh generator tiles the
+// operator exactly: concatenating each part's GenerateRows block equals
+// the single-rank GenerateGlobal system, for arbitrary grid shapes and
+// partition counts.
+func FuzzGenerateRows(f *testing.F) {
+	f.Add(3, 3, 2)
+	f.Add(9, 9, 4)
+	f.Add(1, 12, 3)
+	f.Add(7, 2, 5)
+	f.Fuzz(func(t *testing.T, nx, ny, parts int) {
+		nx = nx%12 + 1
+		if nx < 1 {
+			nx += 12
+		}
+		ny = ny%12 + 1
+		if ny < 1 {
+			ny += 12
+		}
+		parts = parts%6 + 1
+		if parts < 1 {
+			parts += 6
+		}
+		p := Problem{Nx: nx, Ny: ny, Convection: 3,
+			F: func(x, y float64) float64 { return x + 2*y },
+			G: func(x, y float64) float64 { return x * y },
+		}
+		global, bGlobal, err := p.GenerateGlobal()
+		if err != nil {
+			t.Fatalf("GenerateGlobal: %v", err)
+		}
+		starts, err := PartitionRows(p.N(), parts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		row := 0
+		for part := 0; part < parts; part++ {
+			a, b, err := p.GenerateRows(starts[part], starts[part+1])
+			if err != nil {
+				t.Fatalf("GenerateRows(%d, %d): %v", starts[part], starts[part+1], err)
+			}
+			if a.Rows != starts[part+1]-starts[part] || a.Cols != p.N() {
+				t.Fatalf("part %d block is %dx%d, want %dx%d", part, a.Rows, a.Cols, starts[part+1]-starts[part], p.N())
+			}
+			for lr := 0; lr < a.Rows; lr++ {
+				cols, vals := a.RowView(lr)
+				gCols, gVals := global.RowView(row)
+				if len(cols) != len(gCols) {
+					t.Fatalf("row %d: %d entries locally, %d globally", row, len(cols), len(gCols))
+				}
+				for k := range cols {
+					if cols[k] != gCols[k] || vals[k] != gVals[k] {
+						t.Fatalf("row %d entry %d: local (%d,%g), global (%d,%g)",
+							row, k, cols[k], vals[k], gCols[k], gVals[k])
+					}
+				}
+				if b[lr] != bGlobal[row] {
+					t.Fatalf("row %d rhs: local %g, global %g", row, b[lr], bGlobal[row])
+				}
+				row++
+			}
+		}
+		if row != p.N() {
+			t.Fatalf("parts cover %d rows, want %d", row, p.N())
+		}
+	})
+}

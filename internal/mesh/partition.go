@@ -1,0 +1,40 @@
+package mesh
+
+import "fmt"
+
+// PartitionRows splits n block rows evenly over parts processors,
+// returning the start row of each part plus a final sentinel, so part p
+// owns rows [starts[p], starts[p+1]). The split matches
+// pmat.EvenLayout's: the first n%parts parts get one extra row. It is
+// the canonical block-row partition of the paper's test architecture —
+// the mesh generator, the solver components' coarse-grid splits, and
+// the partition-invariance property tests all derive from it.
+func PartitionRows(n, parts int) ([]int, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("mesh: PartitionRows with negative row count %d", n)
+	}
+	if parts < 1 {
+		return nil, fmt.Errorf("mesh: PartitionRows needs at least one part, got %d", parts)
+	}
+	starts := make([]int, parts+1)
+	base := n / parts
+	rem := n % parts
+	for p := 0; p < parts; p++ {
+		local := base
+		if p < rem {
+			local++
+		}
+		starts[p+1] = starts[p] + local
+	}
+	return starts, nil
+}
+
+// LocalRows returns the row count part p owns under PartitionRows(n,
+// parts), without building the full boundary slice.
+func LocalRows(n, parts, p int) int {
+	local := n / parts
+	if p < n%parts {
+		local++
+	}
+	return local
+}
