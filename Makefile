@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test check race vet fmt lint bench benchguard baseline telemetry chaos fuzz clean
+.PHONY: all build test check race vet fmt lint bench benchguard baseline telemetry chaos chaos-service serve-integration fuzz clean
 
 all: check
 
@@ -16,7 +16,7 @@ test:
 check: build vet fmt lint test race
 
 race:
-	$(GO) test -race ./internal/comm/... ./internal/pmat/... ./internal/core/... ./internal/telemetry/... ./internal/bench/...
+	$(GO) test -race ./internal/comm/... ./internal/pmat/... ./internal/core/... ./internal/telemetry/... ./internal/bench/... ./internal/service/...
 
 vet:
 	$(GO) vet ./...
@@ -50,6 +50,18 @@ telemetry:
 CHAOS_SEED ?=
 chaos:
 	CHAOS_SEED=$(CHAOS_SEED) $(GO) test -race -count=1 -v ./internal/fault ./internal/chaos
+
+# chaos-service = the same seeded-fault contract at the HTTP edge
+# (docs/SERVICE.md): typed JSON abort statuses, never hangs.
+chaos-service:
+	CHAOS_SEED=$(CHAOS_SEED) $(GO) test -race -count=1 -tags faultinject -v \
+		-run 'TestServiceChaosTypedStatuses|TestServiceServerLevelFaultSpec|TestServiceFaultSpecHTTP' ./internal/service
+
+# serve-integration = CI's black-box lisi-serve job: build the binary,
+# boot it, drive concurrent multi-tenant load, SIGTERM-drain it.
+serve-integration:
+	$(GO) build -o /tmp/lisi-serve ./cmd/lisi-serve
+	LISI_SERVE_BIN=/tmp/lisi-serve $(GO) test -race -count=1 -v -run TestServeBinary ./internal/service
 
 # fuzz = CI's smoke: each native fuzz target for FUZZTIME (seed corpora in
 # testdata/fuzz/ replay in every plain `go test` run regardless).

@@ -135,7 +135,8 @@ func TestBlockingUnderLockFixture(t *testing.T) {
 }
 
 func TestPortContractFixture(t *testing.T) {
-	runFixture(t, "portcontract", analysis.Options{}, fixtureRoot+"/portcontract")
+	runFixture(t, "portcontract", analysis.Options{},
+		fixtureRoot+"/portcontract", fixtureRoot+"/portcontract/service")
 }
 
 func TestFloatEqFixture(t *testing.T) {
@@ -154,7 +155,8 @@ func TestTelemetryRecorderFixture(t *testing.T) {
 
 func TestCtxCommFixture(t *testing.T) {
 	runFixture(t, "ctxcomm", analysis.Options{},
-		fixtureRoot+"/ctxcomm/ksp", fixtureRoot+"/ctxcomm/outofscope")
+		fixtureRoot+"/ctxcomm/ksp", fixtureRoot+"/ctxcomm/service",
+		fixtureRoot+"/ctxcomm/outofscope")
 }
 
 func TestHotAllocFixture(t *testing.T) {

@@ -7,28 +7,32 @@ import (
 )
 
 // CtxComm flags context.Background() / context.TODO() passed to the
-// context-taking comm APIs (Comm.WithContext, World.RunContext, and any
-// future internal/comm function with a context.Context parameter) from
-// inside the solver backend packages (ksp, aztec, slu, mg). A backend
-// that mints a fresh root context instead of threading the caller's one
-// detaches its blocking comm calls from the session's cancellation
-// scope: a -timeout or SIGINT abort then cannot unblock the ranks
-// sitting inside that backend, which is exactly the deadlock the
-// context plumbing exists to prevent. Backends receive their context
-// through the communicator the adapter binds (Comm.Context()); the rare
-// legitimate root context is suppressed per site with
-// `//lisi:ignore ctxcomm <reason>`.
+// context-taking comm and core APIs (Comm.WithContext, World.RunContext,
+// core.Session.Solve, and any future internal/comm or internal/core
+// function with a context.Context parameter) from inside the
+// cancellation-scoped packages: the solver backends (ksp, aztec, slu,
+// mg) and the service front end. A backend or request handler that
+// mints a fresh root context instead of threading the caller's one
+// detaches its blocking calls from the session's (or the HTTP
+// request's) cancellation scope: a -timeout, SIGINT, or dropped client
+// connection then cannot unblock the ranks sitting inside that call,
+// which is exactly the deadlock the context plumbing exists to prevent.
+// Backends receive their context through the communicator the adapter
+// binds (Comm.Context()); service handlers thread the request context
+// into Session.Solve. The rare legitimate root context is suppressed
+// per site with `//lisi:ignore ctxcomm <reason>`.
 var CtxComm = &Analyzer{
 	Name: "ctxcomm",
-	Doc: "flags context.Background()/context.TODO() passed to context-taking internal/comm APIs " +
-		"from inside solver backends; thread the caller's context (Comm.Context()) instead",
+	Doc: "flags context.Background()/context.TODO() passed to context-taking internal/comm and " +
+		"internal/core APIs from inside solver backends and the service layer; thread the " +
+		"caller's context (Comm.Context(), the request context) instead",
 	Run: runCtxComm,
 }
 
-// ctxCommPackages are the final import-path segments of the solver
-// backend packages the check applies to.
+// ctxCommPackages are the final import-path segments of the packages the
+// check applies to: the solver backends plus the service front end.
 var ctxCommPackages = map[string]bool{
-	"ksp": true, "aztec": true, "slu": true, "mg": true,
+	"ksp": true, "aztec": true, "slu": true, "mg": true, "service": true,
 }
 
 func runCtxComm(pass *Pass) {
@@ -46,7 +50,7 @@ func runCtxComm(pass *Pass) {
 			if !ok {
 				return true
 			}
-			sig, name := commCalleeSignature(info, call)
+			sig, pkg, name := ctxCalleeSignature(info, call)
 			if sig == nil {
 				return true
 			}
@@ -56,8 +60,8 @@ func runCtxComm(pass *Pass) {
 				}
 				if root := rootContextName(info, call.Args[i]); root != "" {
 					pass.Report(call.Args[i].Pos(),
-						"context."+root+"() passed to comm."+name+" inside a solver backend detaches it from the session's cancellation scope",
-						"thread the caller's context through (e.g. Comm.Context()) instead of a root context")
+						"context."+root+"() passed to "+pkg+"."+name+" detaches it from the caller's cancellation scope",
+						"thread the caller's context through (e.g. Comm.Context() or the request context) instead of a root context")
 				}
 			}
 			return true
@@ -65,10 +69,11 @@ func runCtxComm(pass *Pass) {
 	}
 }
 
-// commCalleeSignature resolves call's callee; when it is a function or
-// method of the internal/comm package it returns the signature and the
-// callee name, otherwise (nil, "").
-func commCalleeSignature(info *types.Info, call *ast.CallExpr) (*types.Signature, string) {
+// ctxCalleeSignature resolves call's callee; when it is a function or
+// method of the internal/comm or internal/core package it returns the
+// signature, the package's short name, and the callee name, otherwise
+// (nil, "", "").
+func ctxCalleeSignature(info *types.Info, call *ast.CallExpr) (*types.Signature, string, string) {
 	var obj types.Object
 	switch fun := call.Fun.(type) {
 	case *ast.SelectorExpr:
@@ -76,17 +81,26 @@ func commCalleeSignature(info *types.Info, call *ast.CallExpr) (*types.Signature
 	case *ast.Ident:
 		obj = info.Uses[fun]
 	default:
-		return nil, ""
+		return nil, "", ""
 	}
 	fn, ok := obj.(*types.Func)
-	if !ok || fn.Pkg() == nil || !strings.HasSuffix(fn.Pkg().Path(), commPkgSuffix) {
-		return nil, ""
+	if !ok || fn.Pkg() == nil {
+		return nil, "", ""
+	}
+	var pkg string
+	switch path := fn.Pkg().Path(); {
+	case strings.HasSuffix(path, commPkgSuffix):
+		pkg = "comm"
+	case strings.HasSuffix(path, "internal/core"):
+		pkg = "core"
+	default:
+		return nil, "", ""
 	}
 	sig, ok := fn.Type().(*types.Signature)
 	if !ok {
-		return nil, ""
+		return nil, "", ""
 	}
-	return sig, fn.Name()
+	return sig, pkg, fn.Name()
 }
 
 // isContextType reports whether t is context.Context.

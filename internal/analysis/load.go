@@ -3,12 +3,14 @@ package analysis
 import (
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 )
@@ -161,6 +163,32 @@ func (l *Loader) importPathFor(dir string) (string, error) {
 	return l.Module + "/" + filepath.ToSlash(rel), nil
 }
 
+// buildConstraintOK evaluates a file's //go:build line (if any) for the
+// default build: current GOOS/GOARCH, no custom tags. Without this, a
+// package split into tag-gated flavors (e.g. internal/service's
+// faultinject hook) type-checks both flavors at once and fails on the
+// deliberate redeclarations.
+func buildConstraintOK(src []byte) bool {
+	for _, line := range strings.Split(string(src), "\n") {
+		line = strings.TrimSpace(line)
+		if strings.HasPrefix(line, "package ") {
+			break
+		}
+		if !constraint.IsGoBuild(line) {
+			continue
+		}
+		expr, err := constraint.Parse(line)
+		if err != nil {
+			return true // malformed: let the real toolchain complain
+		}
+		return expr.Eval(func(tag string) bool {
+			return tag == runtime.GOOS || tag == runtime.GOARCH ||
+				tag == "gc" || tag == "unix" || strings.HasPrefix(tag, "go1")
+		})
+	}
+	return true
+}
+
 func hasGoFiles(dir string) bool {
 	ents, err := os.ReadDir(dir)
 	if err != nil {
@@ -202,7 +230,14 @@ func (l *Loader) check(path string) (*Package, error) {
 		if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasSuffix(n, "_test.go") {
 			continue
 		}
-		f, err := parser.ParseFile(l.fset, filepath.Join(dir, n), nil, parser.ParseComments)
+		src, err := os.ReadFile(filepath.Join(dir, n))
+		if err != nil {
+			return nil, err
+		}
+		if !buildConstraintOK(src) {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, n), src, parser.ParseComments)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,37 @@
+// Fixture for the portcontract analyzer's service-layer coverage: a
+// request handler that discards the SolveResult of Session.Solve loses
+// the typed FailReason/Aborted classification the service's error
+// mapping (and its retry guidance to clients) is built on.
+package service
+
+import (
+	"context"
+
+	"repro/internal/core"
+)
+
+func discardedResult(ctx context.Context, s *core.Session, x []float64) error {
+	_, err := s.Solve(ctx, x) // want "SolveResult of s\\.Solve assigned to _"
+	return err
+}
+
+func fullyDiscarded(ctx context.Context, s *core.Session, x []float64) {
+	_, _ = s.Solve(ctx, x) // want "assigned to _"
+}
+
+// classifiedResult is the supported idiom: the result is kept and its
+// typed classification drives the response status.
+func classifiedResult(ctx context.Context, s *core.Session, x []float64) (string, error) {
+	res, err := s.Solve(ctx, x)
+	if res.Aborted {
+		return res.AbortReason, err
+	}
+	return res.FailReason.String(), err
+}
+
+// suppressed shows the per-site escape hatch.
+func suppressed(ctx context.Context, s *core.Session, x []float64) error {
+	//lisi:ignore portcontract fire-and-forget warmup, convergence checked by the next request
+	_, err := s.Solve(ctx, x)
+	return err
+}

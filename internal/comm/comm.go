@@ -169,6 +169,14 @@ func (w *World) Abort() {
 	})
 }
 
+// AbortCause poisons the world exactly like Abort and records cause as
+// the reason (the first recorded cause wins; Cause returns it). It is
+// the external-watcher counterpart of a bound context expiring: callers
+// that observe a deadline or cancellation outside a communication call
+// use it so blocked ranks unblock with the real cause instead of a bare
+// ErrAborted. Safe to call multiple times and from any goroutine.
+func (w *World) AbortCause(cause error) { w.cancel(cause) }
+
 // cancel records cause as the reason this communicator tree died and
 // aborts it. The poison is applied from the root of the Split tree so a
 // deadline observed inside a sub-world releases ranks blocked in parent

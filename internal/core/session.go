@@ -492,9 +492,20 @@ func (s *Session) failoverTo(name string) error {
 	return nil
 }
 
-// solveRecover runs the backend's Solve with ctx bound to the
-// communicator, converting the comm layer's abort panic into a
-// cancellation cause. Any other panic propagates unchanged.
+// solveRecover runs the backend's Solve under a context watcher,
+// converting the comm layer's abort panic into a cancellation cause.
+// Any other panic propagates unchanged.
+//
+// The watcher (context.AfterFunc poisoning the world with the context's
+// cause) deliberately replaces the earlier design of rebinding a
+// context-carrying communicator into the component per solve: that
+// rebind bumped the distribution version — forcing a layout rebuild
+// every cancellable solve — and, worse, the component's version-keyed
+// operator cache kept the layout (and its bound communicator) from the
+// solve that built it, so a pooled session's second cancellable solve
+// aborted on the previous call's expired context. With the watcher the
+// component only ever sees the session's context-free communicator, so
+// every cache stays warm and nothing can capture a dead context.
 func (s *Session) solveRecover(ctx context.Context, x, status []float64) (code int, abortCause error) {
 	defer func() {
 		if p := recover(); p != nil {
@@ -509,21 +520,28 @@ func (s *Session) solveRecover(ctx context.Context, x, status []float64) (code i
 	}()
 	if ctx.Done() == nil {
 		// The context can never be cancelled (context.Background and
-		// friends), so binding it to the communicator buys nothing;
-		// skipping the two Initialize calls keeps the component's
-		// version-keyed solver and layout caches warm in the steady
-		// state.
+		// friends), so watching it buys nothing; this is the
+		// zero-allocation steady-state path.
 		return s.solver.Solve(x, status, s.layout.LocalN, StatusLen), nil
 	}
-	cc := s.c.WithContext(ctx)
-	if code := s.solver.Initialize(cc); code != OK {
-		return code, nil
+	if err := ctx.Err(); err != nil {
+		// Dead before the solve started: poison the world exactly as a
+		// mid-solve expiry would so peer ranks unblock with the cause.
+		s.c.World().AbortCause(context.Cause(ctx))
+		return 0, context.Cause(ctx)
 	}
+	stop := context.AfterFunc(ctx, func() {
+		s.c.World().AbortCause(context.Cause(ctx))
+	})
 	code = s.solver.Solve(x, status, s.layout.LocalN, StatusLen)
-	// Rebind the context-free communicator so a later Solve does not
-	// inherit this call's (possibly expired) deadline.
-	if rc := s.solver.Initialize(s.c); rc != OK && code == OK {
-		code = rc
+	if !stop() {
+		// The watcher started between the backend's last communication
+		// call and here; the world is (or is about to be) poisoned, so
+		// reporting success would hand out a live-looking session with a
+		// dead world. AbortCause is idempotent — this just guarantees the
+		// cause is recorded before we return it.
+		s.c.World().AbortCause(context.Cause(ctx))
+		return code, context.Cause(ctx)
 	}
 	return code, nil
 }

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/mesh"
+	"repro/internal/pmat"
+)
+
+// TestSolveTimeoutSessionReuse pins the session-pool contract the
+// service layer depends on: a session whose solves run under a
+// SolveTimeout (or any cancellable caller context) stays usable across
+// repeated Solve calls when the deadline never fires. The original
+// implementation bound the per-solve context into the component's
+// communicator; the version-keyed operator cache kept that bound
+// communicator alive, so the second solve aborted on the first solve's
+// already-cancelled context.
+func TestSolveTimeoutSessionReuse(t *testing.T) {
+	for _, procs := range []int{1, 2} {
+		run(t, procs, func(c *comm.Comm) {
+			p := mesh.PaperProblem(9)
+			l, err := pmat.EvenLayout(c, p.N())
+			if err != nil {
+				t.Fatal(err)
+			}
+			a, b, err := p.GenerateLocal(l)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s, err := OpenSession("petsc", c, SessionOptions{
+				SolveTimeout: 30 * time.Second, // generous, must never fire
+				Params: map[string]string{
+					"solver": "gmres", "preconditioner": "jacobi",
+					"tol": "1e-8", "maxits": "5000"},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Setup(l, a); err != nil {
+				t.Fatal(err)
+			}
+			x := make([]float64, l.LocalN)
+			for i := 0; i < 3; i++ {
+				if err := s.SetupRHS(b, 1); err != nil {
+					t.Fatalf("solve %d: SetupRHS: %v", i, err)
+				}
+				for j := range x {
+					x[j] = 0
+				}
+				res, err := s.Solve(context.Background(), x)
+				if err != nil {
+					t.Fatalf("solve %d under SolveTimeout failed: %v (aborted=%v reason=%q)",
+						i, err, res.Aborted, res.AbortReason)
+				}
+				if !res.Converged {
+					t.Fatalf("solve %d did not converge", i)
+				}
+			}
+			// A cancellable caller context must behave the same way.
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			for i := 0; i < 2; i++ {
+				if err := s.SetupRHS(b, 1); err != nil {
+					t.Fatal(err)
+				}
+				for j := range x {
+					x[j] = 0
+				}
+				if res, err := s.Solve(ctx, x); err != nil || !res.Converged {
+					t.Fatalf("cancellable solve %d: err=%v converged=%v", i, err, res.Converged)
+				}
+			}
+		})
+	}
+}

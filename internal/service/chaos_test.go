@@ -1,0 +1,278 @@
+//go:build faultinject
+
+// Service-layer chaos suite (chaos builds only): seeded fault specs
+// injected mid-request must surface as typed JSON error statuses
+// carrying FailReason/Attempts/Backend — never hangs — and must never
+// damage traffic that did not ask for faults. This extends the
+// internal/chaos Session-outcome guarantees across the network
+// boundary. Replay a failing seed locally:
+//
+//	CHAOS_SEED=<seed> go test -tags faultinject ./internal/service -run TestServiceChaos -v
+package service_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strconv"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/service"
+)
+
+// chaosSeeds mirrors the internal/chaos idiom: CHAOS_SEED pins one
+// seed (CI matrix and replays), otherwise a fixed default set.
+func chaosSeeds(t *testing.T) []int64 {
+	if v := os.Getenv("CHAOS_SEED"); v != "" {
+		s, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			t.Fatalf("CHAOS_SEED=%q is not an integer", v)
+		}
+		return []int64{s}
+	}
+	return []int64{1, 7, 42}
+}
+
+// solveWatchdog runs one request under a hang guard: a chaos request
+// may fail in any typed way, but it must always come back.
+func solveWatchdog(t *testing.T, svc *service.Service, req *service.SolveRequest) (*service.SolveResponse, *service.Error) {
+	t.Helper()
+	type out struct {
+		resp *service.SolveResponse
+		err  *service.Error
+	}
+	ch := make(chan out, 1)
+	go func() {
+		resp := &service.SolveResponse{}
+		serr := svc.Solve(context.Background(), req, resp)
+		ch <- out{resp, serr}
+	}()
+	select {
+	case o := <-ch:
+		return o.resp, o.err
+	case <-time.After(90 * time.Second):
+		t.Fatalf("service solve hung under fault spec %q", req.FaultSpec)
+		return nil, nil
+	}
+}
+
+func chaosReq(tenant string, spec string) *service.SolveRequest {
+	return &service.SolveRequest{
+		Tenant:  tenant,
+		Backend: "petsc",
+		Params: map[string]string{
+			"solver": "gmres", "preconditioner": "jacobi",
+			"tol": "1e-8", "maxits": "5000"},
+		Procs:     2,
+		Operator:  service.OperatorRef{ID: "chaos", Version: 1, GridN: 9},
+		FaultSpec: spec,
+	}
+}
+
+// TestServiceChaosTypedStatuses drives seeded jitter and lethal
+// schedules through the request path and checks the same invariants the
+// Session-level chaos suite checks, now expressed as wire statuses:
+// jitter-only schedules still complete with a classified result; crash
+// schedules end in a typed solve_aborted carrying the abort metadata;
+// and the pooled, fault-free path keeps serving afterwards.
+func TestServiceChaosTypedStatuses(t *testing.T) {
+	svc, err := service.New(service.Config{
+		EnableFaultInjection: true,
+		SolveTimeout:         30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	for _, seed := range chaosSeeds(t) {
+		jitter := fault.Spec{
+			Seed:      seed,
+			PDelay:    0.05,
+			MaxDelay:  500 * time.Microsecond,
+			PReorder:  0.05,
+			ReorderBy: 500 * time.Microsecond,
+			PStall:    0.01,
+			StallFor:  2 * time.Millisecond,
+			CrashRank: -1,
+			After:     10,
+		}
+		lethal := jitter
+		lethal.PCrash = 0.002
+		for _, tc := range []struct {
+			name  string
+			spec  fault.Spec
+			crash bool
+		}{{"jitter", jitter, false}, {"lethal", lethal, true}} {
+			resp, serr := solveWatchdog(t, svc, chaosReq("chaos", tc.spec.String()))
+			replay := "CHAOS_SEED=" + strconv.FormatInt(seed, 10) +
+				" go test -tags faultinject ./internal/service -run TestServiceChaosTypedStatuses -v"
+			if serr == nil {
+				// Clean end state: classified, and converged runs carry a
+				// meaningful result.
+				if resp.FailReason == "none" && !resp.Converged {
+					t.Errorf("seed=%d %s: fail_reason none but not converged\n  replay: %s",
+						seed, tc.name, replay)
+				}
+				t.Logf("seed=%d %s: completed converged=%v fail_reason=%s attempts=%d (replay: %s)",
+					seed, tc.name, resp.Converged, resp.FailReason, resp.Attempts, replay)
+			} else {
+				if !tc.crash {
+					t.Errorf("seed=%d jitter-only schedule errored: %v\n  replay: %s", seed, serr, replay)
+					continue
+				}
+				if serr.Code != service.CodeSolveAborted && serr.Code != service.CodeSessionAborted {
+					t.Errorf("seed=%d %s: untyped error %v\n  replay: %s", seed, tc.name, serr, replay)
+					continue
+				}
+				if serr.Code == service.CodeSolveAborted {
+					if serr.AbortReason != "fault_injected" {
+						t.Errorf("seed=%d %s: abort_reason=%q, want fault_injected (%v)\n  replay: %s",
+							seed, tc.name, serr.AbortReason, serr, replay)
+					}
+					if serr.FailReason != "aborted" {
+						t.Errorf("seed=%d %s: fail_reason=%q, want aborted\n  replay: %s",
+							seed, tc.name, serr.FailReason, replay)
+					}
+				}
+				if !serr.Retryable {
+					t.Errorf("seed=%d %s: injected-fault abort must be retryable\n  replay: %s",
+						seed, tc.name, replay)
+				}
+				t.Logf("seed=%d %s: typed abort code=%s reason=%s backend=%s attempts=%d (replay: %s)",
+					seed, tc.name, serr.Code, serr.AbortReason, serr.Backend, serr.Attempts, replay)
+			}
+
+			// Chaos at the edge must not damage clean traffic: fault
+			// requests run on dedicated sessions, so the pooled path
+			// still serves.
+			clean := chaosReq("chaos", "")
+			cresp, cerr := solveWatchdog(t, svc, clean)
+			if cerr != nil {
+				t.Fatalf("seed=%d %s: clean request after chaos failed: %v", seed, tc.name, cerr)
+			}
+			if !cresp.Converged {
+				t.Fatalf("seed=%d %s: clean request did not converge", seed, tc.name)
+			}
+		}
+	}
+}
+
+// TestServiceServerLevelFaultSpec arms a guaranteed-crash schedule on
+// every pooled session (the -fault-spec server flag path): every
+// request must come back with a typed status, the poisoned entry must
+// be rebuilt each time, and nothing may hang.
+func TestServiceServerLevelFaultSpec(t *testing.T) {
+	spec := fault.Spec{Seed: 3, PCrash: 1, CrashRank: -1, After: 5}
+	svc, err := service.New(service.Config{
+		EnableFaultInjection: true,
+		FaultSpec:            spec.String(),
+		SolveTimeout:         30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	aborts := 0
+	for i := 0; i < 3; i++ {
+		req := chaosReq("srv", "") // no per-request spec: the server arms it
+		resp, serr := solveWatchdog(t, svc, req)
+		if serr == nil {
+			t.Logf("request %d survived the schedule: converged=%v", i, resp.Converged)
+			continue
+		}
+		switch serr.Code {
+		case service.CodeSolveAborted, service.CodeSessionAborted:
+			aborts++
+		default:
+			t.Fatalf("request %d: untyped error under server fault spec: %v", i, serr)
+		}
+		if !serr.Retryable {
+			t.Fatalf("request %d: server-fault abort must be retryable", i)
+		}
+	}
+	if aborts == 0 {
+		t.Fatal("a guaranteed-crash server schedule never aborted")
+	}
+	if got := svc.Stats().Counters["sessions_poisoned"]; got < 1 {
+		t.Fatalf("sessions_poisoned = %d, want >= 1", got)
+	}
+}
+
+// TestServiceFaultSpecHTTP checks the wire shape of chaos outcomes:
+// the X-Lisi-Fault-Spec header is honored, aborts arrive as typed JSON
+// error bodies with the abort metadata, and an unparsable spec is a
+// 400 bad_fault_spec.
+func TestServiceFaultSpecHTTP(t *testing.T) {
+	svc, err := service.New(service.Config{
+		EnableFaultInjection: true,
+		SolveTimeout:         30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	post := func(t *testing.T, header string) (*http.Response, []byte) {
+		t.Helper()
+		body, err := json.Marshal(chaosReq("wire", ""))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req, err := http.NewRequest("POST", ts.URL+"/v1/solve", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		if header != "" {
+			req.Header.Set("X-Lisi-Fault-Spec", header)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		if _, err := buf.ReadFrom(resp.Body); err != nil {
+			t.Fatal(err)
+		}
+		return resp, buf.Bytes()
+	}
+
+	crash := fault.Spec{Seed: 11, PCrash: 1, CrashRank: -1, After: 8}
+	hr, body := post(t, crash.String())
+	if hr.StatusCode != 500 {
+		t.Fatalf("crash request status %d: %s", hr.StatusCode, body)
+	}
+	var wire struct {
+		Error service.Error `json:"error"`
+	}
+	if err := json.Unmarshal(body, &wire); err != nil {
+		t.Fatal(err)
+	}
+	if wire.Error.Code != service.CodeSolveAborted || wire.Error.AbortReason != "fault_injected" {
+		t.Fatalf("wire error: %+v", wire.Error)
+	}
+	if wire.Error.FailReason != "aborted" || wire.Error.Backend == "" {
+		t.Fatalf("wire error missing classification: %+v", wire.Error)
+	}
+
+	hr, body = post(t, "not-a-spec")
+	if hr.StatusCode != 400 {
+		t.Fatalf("bad spec status %d: %s", hr.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &wire); err != nil {
+		t.Fatal(err)
+	}
+	if wire.Error.Code != service.CodeBadFaultSpec {
+		t.Fatalf("bad spec code %q", wire.Error.Code)
+	}
+}

@@ -1,0 +1,16 @@
+//go:build !faultinject
+
+package service
+
+import "repro/internal/comm"
+
+// faultInjectionCompiled reports whether this binary can honor fault
+// specs (chaos builds: go build -tags faultinject).
+const faultInjectionCompiled = false
+
+// newFaultHook always refuses in a production build: the injection
+// machinery exists only under the faultinject tag, so no production
+// deployment can be chaos-tested into an outage by a request header.
+func newFaultHook(spec string, procs int) (comm.FaultHook, error) {
+	return nil, errFaultNotCompiled
+}

@@ -1,0 +1,22 @@
+//go:build faultinject
+
+package service
+
+import (
+	"repro/internal/comm"
+	"repro/internal/fault"
+)
+
+// faultInjectionCompiled reports whether this binary can honor fault
+// specs (chaos builds: go build -tags faultinject).
+const faultInjectionCompiled = true
+
+// newFaultHook parses a fault spec and arms it for a world of the given
+// size. Chaos builds only.
+func newFaultHook(spec string, procs int) (comm.FaultHook, error) {
+	parsed, err := fault.ParseSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	return fault.New(parsed, procs), nil
+}

@@ -1,0 +1,179 @@
+package service_test
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/service"
+)
+
+// TestServeBinary drives a real lisi-serve process over HTTP: concurrent
+// multi-tenant traffic, then a SIGTERM graceful drain — the in-flight
+// solve must finish with a 200, new requests must be shed, and the
+// process must exit 0. It runs only when LISI_SERVE_BIN points at a
+// built binary (the service-integration CI job sets it); `go test`
+// alone skips it so the tier-1 suite needs no build step ordering.
+func TestServeBinary(t *testing.T) {
+	bin := os.Getenv("LISI_SERVE_BIN")
+	if bin == "" {
+		t.Skip("LISI_SERVE_BIN not set; run via the service-integration CI job or set it to a built lisi-serve")
+	}
+
+	cmd := exec.Command(bin,
+		"-addr", "127.0.0.1:0",
+		"-procs", "2",
+		"-solve-timeout", "120s",
+		"-drain-timeout", "120s")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// exited is closed after the exit status is delivered so both the
+	// test body and the deferred cleanup can wait on it.
+	exited := make(chan error, 1)
+	defer func() {
+		cmd.Process.Kill()
+		<-exited
+	}()
+
+	sc := bufio.NewScanner(stdout)
+	addrCh := make(chan string, 1)
+	go func() {
+		for sc.Scan() {
+			if rest, ok := strings.CutPrefix(sc.Text(), "lisi-serve listening on "); ok {
+				addrCh <- rest
+			}
+		}
+	}()
+	go func() { exited <- cmd.Wait(); close(exited) }()
+
+	var base string
+	select {
+	case addr := <-addrCh:
+		base = "http://" + addr
+	case err := <-exited:
+		t.Fatalf("lisi-serve exited before listening: %v", err)
+	case <-time.After(30 * time.Second):
+		t.Fatal("lisi-serve never reported its listen address")
+	}
+
+	client := &http.Client{Timeout: 120 * time.Second}
+	solve := func(req *service.SolveRequest) (int, *service.SolveResponse, *service.Error, error) {
+		body, err := json.Marshal(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hr, err := client.Post(base+"/v1/solve", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return 0, nil, nil, err
+		}
+		defer hr.Body.Close()
+		if hr.StatusCode == http.StatusOK {
+			var resp service.SolveResponse
+			if err := json.NewDecoder(hr.Body).Decode(&resp); err != nil {
+				return hr.StatusCode, nil, nil, err
+			}
+			return hr.StatusCode, &resp, nil, nil
+		}
+		var wire struct {
+			Error service.Error `json:"error"`
+		}
+		if err := json.NewDecoder(hr.Body).Decode(&wire); err != nil {
+			return hr.StatusCode, nil, nil, err
+		}
+		return hr.StatusCode, nil, &wire.Error, nil
+	}
+	gridReq := func(tenant string, gridN, nRhs int) *service.SolveRequest {
+		return &service.SolveRequest{
+			Tenant:  tenant,
+			Backend: "petsc",
+			Params: map[string]string{
+				"solver": "gmres", "preconditioner": "jacobi",
+				"tol": "1e-8", "maxits": "20000"},
+			Operator: service.OperatorRef{ID: fmt.Sprintf("grid%d", gridN), Version: 1, GridN: gridN},
+			NRHS:     nRhs,
+		}
+	}
+
+	// Phase 1: concurrent multi-tenant traffic. Each tenant reuses its
+	// own pooled session after the first request.
+	var wg sync.WaitGroup
+	errs := make(chan error, 12)
+	for _, tenant := range []string{"acme", "globex", "initech"} {
+		for i := 0; i < 4; i++ {
+			wg.Add(1)
+			go func(tenant string) {
+				defer wg.Done()
+				code, resp, werr, err := solve(gridReq(tenant, 12, 1))
+				if err != nil || code != 200 || !resp.Converged {
+					errs <- fmt.Errorf("tenant %s: code=%d resp=%+v werr=%v err=%v", tenant, code, resp, werr, err)
+				}
+			}(tenant)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// Phase 2: graceful drain. Launch a heavyweight solve, SIGTERM the
+	// server while it runs, and check the drain contract from outside.
+	slow := make(chan error, 1)
+	go func() {
+		code, resp, werr, err := solve(gridReq("acme", 96, 4))
+		switch {
+		case err != nil:
+			slow <- fmt.Errorf("in-flight solve transport error: %v", err)
+		case code != 200:
+			slow <- fmt.Errorf("in-flight solve shed during drain: code=%d werr=%v", code, werr)
+		case !resp.Converged:
+			slow <- fmt.Errorf("in-flight solve did not converge: %+v", resp)
+		default:
+			slow <- nil
+		}
+	}()
+	time.Sleep(200 * time.Millisecond) // let the slow request enter the server
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(100 * time.Millisecond) // let the drain flag flip
+
+	// New work is shed while draining (503 + typed code); once the
+	// listener closes, connections are refused — both count as shed.
+	code, _, werr, err := solve(gridReq("globex", 12, 1))
+	if err == nil {
+		if code != 503 {
+			t.Fatalf("request during drain: code=%d werr=%v, want 503", code, werr)
+		}
+		if werr == nil || (werr.Code != service.CodeDraining && werr.Code != service.CodeServerClosed) {
+			t.Fatalf("request during drain: error %v, want %s", werr, service.CodeDraining)
+		}
+	}
+
+	if err := <-slow; err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-exited:
+		if err != nil {
+			t.Fatalf("lisi-serve did not exit cleanly after drain: %v", err)
+		}
+	case <-time.After(120 * time.Second):
+		t.Fatal("lisi-serve did not exit after SIGTERM")
+	}
+}

@@ -34,8 +34,9 @@ PKGS=(
   "./internal/telemetry"
   "./internal/core"
   "./internal/pmat"
+  "./internal/service"
 )
-PATTERN='^(BenchmarkCOOToCSR|BenchmarkTranspose|BenchmarkMSRConversion|BenchmarkNilRecorderAdd|BenchmarkNilRecorderStartPhase|BenchmarkRecorderAdd|BenchmarkRecorderResidual|BenchmarkSessionReuseSolve|BenchmarkSolveSteadyState|BenchmarkApplyAllocs)$'
+PATTERN='^(BenchmarkCOOToCSR|BenchmarkTranspose|BenchmarkMSRConversion|BenchmarkNilRecorderAdd|BenchmarkNilRecorderStartPhase|BenchmarkRecorderAdd|BenchmarkRecorderResidual|BenchmarkSessionReuseSolve|BenchmarkSolveSteadyState|BenchmarkApplyAllocs|BenchmarkServiceSolveReuse)$'
 
 OUT="$(mktemp)"
 trap 'rm -f "$OUT"' EXIT
@@ -84,18 +85,27 @@ if not results:
     sys.exit("benchguard: FAIL - no benchmark results parsed; did the bench "
              "pattern stop matching anything?")
 
-for pkg in pkgs:
-    suffix = pkg.lstrip("./")
-    matched = [p for p in per_pkg if p.endswith(suffix)]
-    if not matched or all(per_pkg[p] == 0 for p in matched):
-        sys.exit(f"benchguard: FAIL - guarded package {pkg} produced no "
-                 "benchmark results; its benchmarks were renamed or removed. "
-                 "Update PKGS/PATTERN in scripts/benchguard.sh and refresh "
-                 "the baseline with --update.")
+def require_results(expected):
+    """Every expected package must have produced at least one result."""
+    for pkg in expected:
+        suffix = pkg.lstrip("./")
+        matched = [p for p in per_pkg if p.endswith(suffix)]
+        if not matched or all(per_pkg[p] == 0 for p in matched):
+            sys.exit(f"benchguard: FAIL - guarded package {pkg} produced no "
+                     "benchmark results; its benchmarks were renamed, removed, "
+                     "or the package is missing from PKGS. Update PKGS/PATTERN "
+                     "in scripts/benchguard.sh and refresh the baseline with "
+                     "--update.")
 
 if mode == "--update":
+    require_results(pkgs)
+    # Record the guarded package list alongside the numbers so a later
+    # check run knows which packages MUST produce results even if the
+    # script's PKGS array and the checked-in baseline have drifted apart.
+    payload = dict(sorted(results.items()))
+    payload["__packages__"] = sorted(pkgs)
     with open(baseline_path, "w") as f:
-        json.dump(dict(sorted(results.items())), f, indent=2, sort_keys=True)
+        json.dump(payload, f, indent=2, sort_keys=True)
         f.write("\n")
     print(f"benchguard: baseline rewritten with {len(results)} entries")
     sys.exit(0)
@@ -104,6 +114,13 @@ try:
     baseline = json.load(open(baseline_path))
 except FileNotFoundError:
     sys.exit(f"benchguard: {baseline_path} missing; run with --update first")
+
+# The expected package set is the union of the script's PKGS and the
+# baseline's recorded "__packages__": a package present in the baseline
+# but dropped from PKGS (or vice versa) silently producing no results
+# must fail, not pass. The key itself carries no numbers and is excluded
+# from the per-benchmark comparison below.
+require_results(sorted(set(pkgs) | set(baseline.pop("__packages__", []))))
 
 failed = False
 missing = []
