@@ -99,11 +99,13 @@ type entry struct {
 	dead    atomic.Bool
 	lastUse time.Time // guarded by svc.mu
 
-	// Dispatcher-owned batching state, reused across rounds.
+	// Dispatcher-owned batching state, reused across rounds. Replied
+	// members are nil'd in place; torn records that teardown ran.
 	members  []*job
 	carry    *job
 	batchRhs []float64
 	wire     job
+	torn     bool
 }
 
 func newEntry(s *Service, key string, spec entrySpec) (*entry, *Error) {
@@ -250,6 +252,28 @@ func (e *entry) rankLoop(c *comm.Comm) {
 // dispatch is the entry's single dispatcher: collect the setup
 // outcome, then serve (batched) jobs until stopped or poisoned.
 func (e *entry) dispatch() {
+	defer func() {
+		p := recover()
+		if p == nil {
+			return
+		}
+		// Defense in depth: a dispatcher panic (e.g. malformed job state
+		// reaching the batch copy) must take down the entry, not the
+		// server. Poison the world so any in-flight rank collectives
+		// unwind, fail the current round's un-replied members (replied
+		// slots are nil), and tear down the rest of the queue.
+		e.world.Abort()
+		terr := errf(CodeSessionAborted, 503, true,
+			"internal dispatcher failure: %v; the pooled session was torn down", p)
+		for i, m := range e.members {
+			if m == nil {
+				continue
+			}
+			e.members[i] = nil
+			m.done <- jobResult{err: terr}
+		}
+		e.teardown(terr)
+	}()
 	if serr := e.collectSetup(); serr != nil {
 		e.teardown(serr)
 		return
@@ -417,14 +441,16 @@ func (e *entry) runBatch(members []*job) bool {
 	if aborted || !alive {
 		e.svc.cnt.SessionsPoisoned.Add(1)
 		terr := e.abortError(res, haveRes)
-		for _, m := range members {
+		for i, m := range members {
+			members[i] = nil
 			m.done <- jobResult{err: terr}
 		}
 		return false
 	}
 	if stageErr != nil {
 		terr := errf(CodeSetupFailed, 500, true, "right-hand-side staging failed: %v", stageErr)
-		for _, m := range members {
+		for i, m := range members {
+			members[i] = nil
 			m.done <- jobResult{err: terr}
 		}
 		return true // the staged system is intact; the entry stays usable
@@ -442,14 +468,17 @@ func (e *entry) runBatch(members []*job) bool {
 		e.svc.agg.Record(rep)
 	}
 	off := 0
-	for _, m := range members {
+	for i, m := range members {
 		jr := jobResult{res: res, wall: wall, batched: len(members), batchNRhs: total, report: rep}
 		if m.wantSolution {
 			jr.solution = e.assemble(off, m.nRhs)
 		}
 		// The reply hands the job back to its handler, which may recycle
 		// it immediately — no field of m may be touched after the send.
+		// The slot is cleared first so the dispatcher's panic recovery
+		// never replies twice to (or touches a recycled) member.
 		step := m.nRhs
+		members[i] = nil
 		m.done <- jr
 		off += step
 	}
@@ -513,8 +542,14 @@ func abortReasonFromCause(cause error) string {
 }
 
 // teardown marks the entry dead, releases the ranks, and fails
-// everything still queued with a typed, retryable status.
+// everything still queued with a typed, retryable status. Dispatcher
+// goroutine only; idempotent so the dispatcher's panic recovery can
+// call it even when a round already began tearing down.
 func (e *entry) teardown(terr *Error) {
+	if e.torn {
+		return
+	}
+	e.torn = true
 	e.dead.Store(true)
 	e.svc.dropEntry(e)
 	for _, ch := range e.rankJobs {
@@ -543,24 +578,20 @@ func (e *entry) teardown(terr *Error) {
 // up must not abort the batchmates' solve (a world abort would poison
 // the pooled entry for all of them).
 func mergedContext(members []*job) (context.Context, context.CancelFunc) {
-	ctx, cancel := context.WithCancel(context.Background())
-	var remaining atomic.Int64
-	for _, m := range members {
-		if m.ctx != nil && m.ctx.Done() != nil {
-			remaining.Add(1)
-		}
-	}
-	if remaining.Load() == 0 {
-		// No member is cancellable; hand back an uncancellable context so
-		// the session keeps its background-context fast path.
-		cancel()
-		return context.Background(), func() {}
-	}
-	stops := make([]func() bool, 0, remaining.Load())
 	for _, m := range members {
 		if m.ctx == nil || m.ctx.Done() == nil {
-			continue
+			// This member can never hang up, so the merged context must
+			// never cancel — counting only the cancellable members would
+			// abort (and poison) the solve out from under it. This also
+			// keeps the session's background-context fast path.
+			return context.Background(), func() {}
 		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	var remaining atomic.Int64
+	remaining.Store(int64(len(members)))
+	stops := make([]func() bool, 0, len(members))
+	for _, m := range members {
 		stops = append(stops, context.AfterFunc(m.ctx, func() {
 			if remaining.Add(-1) == 0 {
 				cancel()

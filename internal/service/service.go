@@ -172,7 +172,13 @@ type Service struct {
 	pending  atomic.Int64
 	draining atomic.Bool
 	closed   atomic.Bool
-	wg       sync.WaitGroup
+
+	// admitMu serializes admission (wg.Add) against Drain flipping
+	// accepting: Add may never race a Wait that saw a zero counter, so
+	// Drain clears accepting under admitMu before it starts waiting.
+	admitMu   sync.Mutex
+	accepting bool
+	wg        sync.WaitGroup
 
 	jobs sync.Pool // *job, recycled across requests
 
@@ -195,10 +201,11 @@ func New(cfg Config) (*Service, error) {
 		}
 	}
 	s := &Service{
-		cfg:     cfg,
-		agg:     telemetry.NewAggregator(),
-		entries: make(map[string]*entry),
-		tenants: make(map[string]*tenantState),
+		cfg:       cfg,
+		agg:       telemetry.NewAggregator(),
+		entries:   make(map[string]*entry),
+		tenants:   make(map[string]*tenantState),
+		accepting: true,
 	}
 	s.jobs.New = func() any { return &job{done: make(chan jobResult, 1)} }
 	return s, nil
@@ -260,13 +267,20 @@ func (s *Service) Solve(ctx context.Context, req *SolveRequest, resp *SolveRespo
 	s.cnt.Requests.Add(1)
 	t.requests.Add(1)
 
-	s.wg.Add(1)
-	defer s.wg.Done()
-	if s.draining.Load() {
+	s.admitMu.Lock()
+	if !s.accepting {
+		closed := s.closed.Load()
+		s.admitMu.Unlock()
 		t.shed.Add(1)
 		s.cnt.ShedDraining.Add(1)
+		if closed {
+			return errf(CodeServerClosed, 503, true, "server has drained and is shutting down")
+		}
 		return errf(CodeDraining, 503, true, "server is draining; retry against another instance")
 	}
+	s.wg.Add(1)
+	s.admitMu.Unlock()
+	defer s.wg.Done()
 	if s.pending.Add(1) > int64(s.cfg.MaxPending) {
 		s.pending.Add(-1)
 		t.shed.Add(1)
@@ -383,21 +397,24 @@ func (s *Service) finishJob(req *SolveRequest, resp *SolveResponse, r *jobResult
 func (s *Service) entryFor(req *SolveRequest, t *tenantState) (*entry, bool, *Error) {
 	key := req.key()
 	s.mu.Lock()
-	if e, ok := s.entries[key]; ok && !e.dead.Load() {
-		if cerr := operatorConflict(req, &e.spec); cerr != nil {
-			s.mu.Unlock()
-			return nil, false, cerr
-		}
-		e.lastUse = time.Now()
+	if e, found, rerr := s.reuseLocked(key, req); found {
 		s.mu.Unlock()
-		return e, true, nil
-	} else if ok {
-		delete(s.entries, key)
+		return e, rerr == nil, rerr
 	}
+	s.mu.Unlock()
+	// Resolve the operator outside the lock: sparse.NewCSR validates
+	// bodies up to MaxBodyBytes, and one large build must not stall
+	// admission, tenant lookups or /v1/stats.
 	spec, err := s.buildSpec(req)
 	if err != nil {
-		s.mu.Unlock()
 		return nil, false, err
+	}
+	s.mu.Lock()
+	if e, found, rerr := s.reuseLocked(key, req); found {
+		// Lost the build race to a concurrent request for the same key;
+		// use the winner's session.
+		s.mu.Unlock()
+		return e, rerr == nil, rerr
 	}
 	if len(s.entries) >= s.cfg.MaxSessions {
 		if !s.evictIdleLocked() {
@@ -419,6 +436,33 @@ func (s *Service) entryFor(req *SolveRequest, t *tenantState) (*entry, bool, *Er
 	s.mu.Unlock()
 	e.start()
 	return e, false, nil
+}
+
+// reuseLocked resolves key against the pool. found reports a live
+// pooled entry; the *Error is then non-nil if the request cannot ride
+// it. The RHS length check matters here: validate cannot size-check a
+// request that omits the operator body (n is unknown), and buildSpec
+// never runs on the reuse path — without this check a short RHS reaches
+// the batch copy in the dispatcher and panics. A dead entry is pruned.
+// Caller holds s.mu.
+func (s *Service) reuseLocked(key string, req *SolveRequest) (*entry, bool, *Error) {
+	e, ok := s.entries[key]
+	if !ok {
+		return nil, false, nil
+	}
+	if e.dead.Load() {
+		delete(s.entries, key)
+		return nil, false, nil
+	}
+	if cerr := operatorConflict(req, &e.spec); cerr != nil {
+		return nil, true, cerr
+	}
+	if req.RHS != nil && len(req.RHS) != e.spec.n*req.nrhs() {
+		return nil, true, errf(CodeBadRequest, 400, false,
+			"rhs has %d values, want n*nrhs = %d", len(req.RHS), e.spec.n*req.nrhs())
+	}
+	e.lastUse = time.Now()
+	return e, true, nil
 }
 
 // operatorConflict rejects a request whose operator body disagrees with
@@ -469,8 +513,8 @@ func (s *Service) dropEntry(e *entry) {
 	s.mu.Unlock()
 }
 
-// buildSpec resolves the request's operator into an entrySpec. Caller
-// holds s.mu (registry lookups are independently locked and cheap).
+// buildSpec resolves the request's operator into an entrySpec. It can
+// validate multi-megabyte operator bodies, so it runs outside s.mu.
 func (s *Service) buildSpec(req *SolveRequest) (entrySpec, *Error) {
 	spec := entrySpec{
 		tenant:       req.Tenant,
@@ -562,6 +606,12 @@ func (s *Service) solveFaulted(ctx context.Context, req *SolveRequest, resp *Sol
 // ctx's cause; a clean drain returns nil.
 func (s *Service) Drain(ctx context.Context) error {
 	s.draining.Store(true)
+	// Stop admission before waiting: once accepting is false no Solve
+	// can wg.Add, so Wait never observes a zero counter that a late
+	// request then bumps (the documented WaitGroup misuse window).
+	s.admitMu.Lock()
+	s.accepting = false
+	s.admitMu.Unlock()
 	done := make(chan struct{})
 	go func() {
 		s.wg.Wait()

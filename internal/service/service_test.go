@@ -362,6 +362,38 @@ func TestServiceTypedValidation(t *testing.T) {
 	}
 }
 
+func TestServiceReuseRejectsBadRHSLength(t *testing.T) {
+	svc := newTestService(t, service.Config{})
+	req := gridReq("acme", 8) // n = 64
+	var resp service.SolveResponse
+	if serr := svc.Solve(context.Background(), req, &resp); serr != nil {
+		t.Fatalf("seed solve: %v", serr)
+	}
+	// A reuse request may omit the operator body, so validate cannot
+	// size-check its RHS — the pool lookup must. This used to reach the
+	// dispatcher's batch copy and panic on the short slice.
+	bad := &service.SolveRequest{
+		Tenant:   "acme",
+		Backend:  "petsc",
+		Params:   gmresParams(),
+		Operator: service.OperatorRef{ID: "grid", Version: 1},
+		RHS:      make([]float64, 7),
+	}
+	var badResp service.SolveResponse
+	serr := svc.Solve(context.Background(), bad, &badResp)
+	if serr == nil || serr.Code != service.CodeBadRequest || serr.HTTPStatus() != 400 {
+		t.Fatalf("want %s/400, got %v", service.CodeBadRequest, serr)
+	}
+	// The rejection must not have touched the pooled session.
+	var resp2 service.SolveResponse
+	if serr := svc.Solve(context.Background(), req, &resp2); serr != nil {
+		t.Fatalf("solve after rejected rhs: %v", serr)
+	}
+	if !resp2.SessionReused || !resp2.Converged {
+		t.Fatalf("pooled session should have survived the rejection: %+v", resp2)
+	}
+}
+
 func TestServiceOperatorConflict(t *testing.T) {
 	svc := newTestService(t, service.Config{})
 	var resp service.SolveResponse

@@ -333,6 +333,41 @@ func TestServicePoolKeyIsolation(t *testing.T) {
 	}
 }
 
+func TestMergedContextUncancellableMember(t *testing.T) {
+	ctx1, cancel1 := context.WithCancel(context.Background())
+	defer cancel1()
+	merged, stop := mergedContext([]*job{{ctx: ctx1}, {ctx: context.Background()}})
+	defer stop()
+	if merged.Done() != nil {
+		t.Fatal("a batch with an uncancellable member must get an uncancellable merged context")
+	}
+	cancel1()
+	select {
+	case <-merged.Done():
+		t.Fatal("merged context cancelled while an uncancellable member was still in flight")
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+func TestMergedContextAllMembersCancel(t *testing.T) {
+	ctx1, cancel1 := context.WithCancel(context.Background())
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	merged, stop := mergedContext([]*job{{ctx: ctx1}, {ctx: ctx2}})
+	defer stop()
+	cancel1()
+	select {
+	case <-merged.Done():
+		t.Fatal("merged context cancelled before every member hung up")
+	case <-time.After(50 * time.Millisecond):
+	}
+	cancel2()
+	select {
+	case <-merged.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("merged context did not cancel after every member hung up")
+	}
+}
+
 func TestEvenStartsMatchesLayout(t *testing.T) {
 	for _, tc := range []struct{ n, p int }{{10, 1}, {10, 3}, {64, 4}, {7, 7}, {100, 8}} {
 		starts := evenStarts(tc.n, tc.p)
