@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test check race vet fmt lint bench benchguard baseline telemetry chaos chaos-service serve-integration fuzz clean
+.PHONY: all build test check race vet fmt lint vet-self ignore-audit bench benchguard baseline telemetry chaos chaos-service serve-integration fuzz clean
 
 all: check
 
@@ -13,7 +13,7 @@ test:
 	$(GO) test ./...
 
 # check = everything CI's build-test + lint jobs run.
-check: build vet fmt lint test race
+check: build vet fmt lint vet-self test race
 
 race:
 	$(GO) test -race ./internal/comm/... ./internal/pmat/... ./internal/core/... ./internal/telemetry/... ./internal/bench/... ./internal/service/...
@@ -25,6 +25,17 @@ vet:
 # deterministic (sorted by file:line:column), exit is nonzero on findings.
 lint:
 	$(GO) run ./cmd/lisi-vet ./...
+
+# vet-self = the analyzers and their driver pass their own suite (the
+# bufown recycle rules apply to any /comm package, the engine must keep
+# its own collectives symmetric, and so on).
+vet-self:
+	$(GO) run ./cmd/lisi-vet ./internal/analysis ./cmd/lisi-vet
+
+# ignore-audit = report //lisi:ignore comments that no longer suppress
+# anything (full suite, opt-in checks on; exit 1 when any are stale).
+ignore-audit:
+	$(GO) run ./cmd/lisi-vet -ignore-audit ./...
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \

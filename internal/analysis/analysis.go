@@ -48,12 +48,17 @@ type Options struct {
 }
 
 // Pass hands one package to an analyzer together with the shared type
-// information and a sink for diagnostics.
+// information, the cross-package interprocedural index, and a sink for
+// diagnostics.
 type Pass struct {
 	Analyzer *Analyzer
 	Fset     *token.FileSet
 	Pkg      *Package
 	Opts     Options
+	// Prog spans every package of this Run invocation: analyzers use it
+	// to resolve call edges and read per-function summaries
+	// (interproc.go).
+	Prog *Program
 
 	diags *[]Diagnostic
 }
@@ -77,6 +82,10 @@ type Diagnostic struct {
 	Analyzer string
 	Message  string
 	Hint     string
+	// Suppressed marks a finding silenced by a //lisi:ignore comment.
+	// Run drops suppressed findings; RunDetailed keeps them (marked) so
+	// the -json output and the suppression audit can see them.
+	Suppressed bool
 }
 
 // String renders the diagnostic in the driver's output format.
@@ -98,6 +107,8 @@ func Analyzers() []*Analyzer {
 		TelemetryRecorder,
 		CtxComm,
 		HotAlloc,
+		BufOwn,
+		SpmdDet,
 	}
 }
 
@@ -124,20 +135,51 @@ func RunAnalyzers(pkgs []*Package, opts Options) []Diagnostic {
 // comments (missing analyzer name or reason) are themselves reported.
 func Run(analyzers []*Analyzer, pkgs []*Package, opts Options) []Diagnostic {
 	var diags []Diagnostic
+	for _, d := range RunDetailed(analyzers, pkgs, opts).Diags {
+		if !d.Suppressed {
+			diags = append(diags, d)
+		}
+	}
+	return diags
+}
+
+// Result is the full outcome of a RunDetailed invocation.
+type Result struct {
+	// Diags holds every diagnostic, suppressed ones included (marked),
+	// in the deterministic file/line/column/analyzer order.
+	Diags []Diagnostic
+	// Stale lists well-formed //lisi:ignore comments that suppressed
+	// nothing in this run — candidates for removal. Meaningful only
+	// when the run covered the full analyzer suite.
+	Stale []Diagnostic
+}
+
+// RunDetailed is Run keeping the suppressed diagnostics (marked) and
+// reporting stale suppression comments, for the -json output and the
+// -ignore-audit mode of the driver.
+func RunDetailed(analyzers []*Analyzer, pkgs []*Package, opts Options) Result {
+	prog := NewProgram(pkgs)
+	var res Result
 	for _, pkg := range pkgs {
 		ig := newIgnoreIndex(pkg.Fset, pkg.Files)
 		var pkgDiags []Diagnostic
 		for _, a := range analyzers {
-			pass := &Pass{Analyzer: a, Fset: pkg.Fset, Pkg: pkg, Opts: opts, diags: &pkgDiags}
+			pass := &Pass{Analyzer: a, Fset: pkg.Fset, Pkg: pkg, Opts: opts, Prog: prog, diags: &pkgDiags}
 			a.Run(pass)
 		}
 		for _, d := range pkgDiags {
-			if !ig.suppresses(d) {
-				diags = append(diags, d)
-			}
+			d.Suppressed = ig.suppresses(d)
+			res.Diags = append(res.Diags, d)
 		}
-		diags = append(diags, ig.malformed...)
+		res.Diags = append(res.Diags, ig.malformed...)
+		res.Stale = append(res.Stale, ig.stale()...)
 	}
+	sortDiags(res.Diags)
+	sortDiags(res.Stale)
+	return res
+}
+
+func sortDiags(diags []Diagnostic) {
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -151,7 +193,6 @@ func Run(analyzers []*Analyzer, pkgs []*Package, opts Options) []Diagnostic {
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return diags
 }
 
 // Package is one loaded, type-checked package as seen by analyzers.

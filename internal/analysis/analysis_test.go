@@ -164,6 +164,24 @@ func TestHotAllocFixture(t *testing.T) {
 		fixtureRoot+"/hotalloc/ksp", fixtureRoot+"/hotalloc/outofscope")
 }
 
+func TestBufOwnFixture(t *testing.T) {
+	runFixture(t, "bufown", analysis.Options{},
+		fixtureRoot+"/bufown", fixtureRoot+"/bufown/comm", fixtureRoot+"/bufown/staging")
+}
+
+func TestSpmdDetFixture(t *testing.T) {
+	runFixture(t, "spmddet", analysis.Options{},
+		fixtureRoot+"/spmddet", fixtureRoot+"/spmddet/ksp")
+}
+
+// TestCollectiveSymInterprocFixture exercises the interprocedural cases:
+// helper-wrapped collectives behind rank gates fire, the same helpers
+// called unconditionally stay silent, and panic/t.Fatal-style no-return
+// branches count as divergence.
+func TestCollectiveSymInterprocFixture(t *testing.T) {
+	runFixture(t, "collectivesym", analysis.Options{}, fixtureRoot+"/collectivesym/interproc")
+}
+
 // TestMalformedSuppression: ignores without a reason or naming an unknown
 // analyzer are themselves findings.
 func TestMalformedSuppression(t *testing.T) {
@@ -209,6 +227,59 @@ func TestFullSuiteCatchesRankGatedBarrier(t *testing.T) {
 		}
 	}
 	t.Fatalf("full suite missed the rank-gated Barrier; got %d diagnostics", len(diags))
+}
+
+// TestFullSuiteCatchesInflightAlias mirrors CI's bufown negative control:
+// the complete suite over the bufown fixture must produce a bufown
+// diagnostic for the buffer aliased while posted to an in-flight send.
+func TestFullSuiteCatchesInflightAlias(t *testing.T) {
+	loader, err := sharedLoader()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.Load(fixtureRoot + "/bufown")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := analysis.RunAnalyzers(pkgs, analysis.Options{})
+	for _, d := range diags {
+		if d.Analyzer == "bufown" && strings.Contains(d.Message, "in-flight") {
+			return
+		}
+	}
+	t.Fatalf("full suite missed the in-flight buffer alias; got %d diagnostics", len(diags))
+}
+
+// TestIgnoreAudit: RunDetailed keeps suppressed diagnostics (marked) and
+// reports exactly the suppressions that silenced nothing.
+func TestIgnoreAudit(t *testing.T) {
+	loader, err := sharedLoader()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.Load(fixtureRoot + "/ignorestale")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := analysis.RunDetailed(analysis.Analyzers(), pkgs, analysis.Options{FloatEqZero: true})
+	if len(res.Stale) != 1 {
+		t.Fatalf("want exactly 1 stale suppression, got %d: %v", len(res.Stale), res.Stale)
+	}
+	if !strings.Contains(res.Stale[0].Message, "no collectivesym diagnostic fires") {
+		t.Errorf("stale message = %q", res.Stale[0].Message)
+	}
+	var suppressed, active int
+	for _, d := range res.Diags {
+		if d.Suppressed {
+			suppressed++
+		} else {
+			active++
+		}
+	}
+	if suppressed != 1 || active != 0 {
+		t.Fatalf("want 1 suppressed and 0 active diagnostics, got %d suppressed, %d active: %v",
+			suppressed, active, res.Diags)
+	}
 }
 
 // TestDeterministicOrder: two runs over the same inputs print identically,

@@ -71,8 +71,16 @@ func rankTainted(pass *Pass, body *ast.BlockStmt) map[*ast.Object]bool {
 func containsRankCall(pass *Pass, e ast.Expr) bool {
 	found := false
 	ast.Inspect(e, func(n ast.Node) bool {
-		if call, ok := n.(*ast.CallExpr); ok && isRankCall(pass.Pkg.Info, call) {
-			found = true
+		if call, ok := n.(*ast.CallExpr); ok {
+			if isRankCall(pass.Pkg.Info, call) {
+				found = true
+			} else if pass.Prog != nil && pass.Prog.SummaryOf(pass.Pkg.Info, call).ReturnsRank {
+				// A helper whose result derives from Rank() makes the
+				// assigned variable rank-tainted just like Rank() itself
+				// (`root := isRoot(c)` with `func isRoot` returning
+				// c.Rank() == 0).
+				found = true
+			}
 		}
 		return !found
 	})
@@ -90,6 +98,8 @@ func (w *symWalker) rankDependent(e ast.Expr) bool {
 		switch n := n.(type) {
 		case *ast.CallExpr:
 			if isRankCall(w.pass.Pkg.Info, n) {
+				dep = true
+			} else if w.pass.Prog != nil && w.pass.Prog.SummaryOf(w.pass.Pkg.Info, n).ReturnsRank {
 				dep = true
 			}
 		case *ast.Ident:
@@ -140,8 +150,20 @@ func (w *symWalker) divergingGuard(s ast.Stmt) string {
 	return ""
 }
 
+// noReturnNames are callee names treated as never returning, in addition
+// to the predeclared panic: a rank-guarded branch calling one of these
+// diverts the guarded ranks from every later collective exactly like an
+// early return does. The match is by name (os.Exit, log.Fatal*,
+// runtime.Goexit, and the testing-style Fatal/FailNow family), which is
+// the same noreturn approximation go vet's unreachable pass uses.
+var noReturnNames = map[string]bool{
+	"Exit": true, "Fatal": true, "Fatalf": true, "Fatalln": true,
+	"FailNow": true, "Goexit": true,
+}
+
 // diverges reports whether the branch contains any statement that exits
-// the enclosing block early.
+// the enclosing block early: return, break/continue/goto, panic, or a
+// call that never returns (os.Exit / log.Fatal / t.Fatal-style).
 func diverges(n ast.Node) bool {
 	found := false
 	ast.Inspect(n, func(n ast.Node) bool {
@@ -151,7 +173,7 @@ func diverges(n ast.Node) bool {
 		case *ast.ReturnStmt, *ast.BranchStmt:
 			found = true
 		case *ast.CallExpr:
-			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "panic" {
+			if name := calleeName(n); name == "panic" || noReturnNames[name] {
 				found = true
 			}
 		}
@@ -281,11 +303,28 @@ func (w *symWalker) checkExpr(e ast.Expr, guard string) {
 		if !ok {
 			return true
 		}
-		if name, ok := isCollectiveCall(w.pass.Pkg.Info, call); ok && guard != "" {
+		if guard == "" {
+			return true
+		}
+		if name, ok := isCollectiveCall(w.pass.Pkg.Info, call); ok {
 			w.pass.Report(call.Pos(),
 				"collective Comm."+name+" is control-dependent on the rank (guard: "+guard+"); "+
 					"ranks not taking this path never join it and the world deadlocks",
 				"restructure so every rank calls Comm."+name+", or suppress with //lisi:ignore collectivesym <reason> if all ranks provably take this path")
+			return true
+		}
+		// Interprocedural case: a helper that transitively performs a
+		// collective is just as rank-gated as the collective itself
+		// (summaries look through summaryDepth levels of module-local
+		// calls — see interproc.go).
+		if w.pass.Prog != nil {
+			if sum := w.pass.Prog.SummaryOf(w.pass.Pkg.Info, call); len(sum.Collectives) > 0 {
+				w.pass.Report(call.Pos(),
+					"call to "+exprString(call.Fun)+" is control-dependent on the rank (guard: "+guard+") "+
+						"and transitively performs collective Comm."+sum.Collectives[0]+"; "+
+						"ranks not taking this path never join it and the world deadlocks",
+					"restructure so every rank reaches this call, or suppress with //lisi:ignore collectivesym <reason> if all ranks provably take this path")
+			}
 		}
 		return true
 	})

@@ -17,16 +17,25 @@ import (
 // a suite analyzer name or "all".
 const ignorePrefix = "lisi:ignore"
 
+// ignoreEntry is one well-formed suppression comment, tracked so the
+// audit mode can report comments that no longer suppress anything.
+type ignoreEntry struct {
+	pos  token.Position // position of the comment itself
+	name string         // analyzer name or "all"
+	used bool           // set when a diagnostic matched this entry
+}
+
 // ignoreIndex records which (line, analyzer) pairs are suppressed in one
 // package, plus diagnostics for malformed ignore comments.
 type ignoreIndex struct {
-	// byLine maps file:line to the set of suppressed analyzer names.
-	byLine    map[string]map[string]bool
+	// byLine maps file:line to the suppressing entries by analyzer name.
+	byLine    map[string]map[string]*ignoreEntry
+	entries   []*ignoreEntry
 	malformed []Diagnostic
 }
 
 func newIgnoreIndex(fset *token.FileSet, files []*ast.File) *ignoreIndex {
-	ix := &ignoreIndex{byLine: make(map[string]map[string]bool)}
+	ix := &ignoreIndex{byLine: make(map[string]map[string]*ignoreEntry)}
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -55,6 +64,8 @@ func newIgnoreIndex(fset *token.FileSet, files []*ast.File) *ignoreIndex {
 					})
 					continue
 				}
+				entry := &ignoreEntry{pos: pos, name: name}
+				ix.entries = append(ix.entries, entry)
 				// A comment on its own line suppresses the line below it;
 				// a trailing comment suppresses its own line. Telling the
 				// cases apart needs the line's first token, which the AST
@@ -64,14 +75,34 @@ func newIgnoreIndex(fset *token.FileSet, files []*ast.File) *ignoreIndex {
 				for _, line := range []int{pos.Line, pos.Line + 1} {
 					key := lineKey(pos.Filename, line)
 					if ix.byLine[key] == nil {
-						ix.byLine[key] = make(map[string]bool)
+						ix.byLine[key] = make(map[string]*ignoreEntry)
 					}
-					ix.byLine[key][name] = true
+					ix.byLine[key][name] = entry
 				}
 			}
 		}
 	}
 	return ix
+}
+
+// stale returns one diagnostic per entry that suppressed nothing.
+// Callers must have fed every diagnostic of the run through suppresses
+// first, and are expected to have run the full analyzer suite — with a
+// partial suite an ignore naturally looks unused.
+func (ix *ignoreIndex) stale() []Diagnostic {
+	var out []Diagnostic
+	for _, e := range ix.entries {
+		if e.used {
+			continue
+		}
+		out = append(out, Diagnostic{
+			Pos:      e.pos,
+			Analyzer: "lisi-vet",
+			Message:  "stale suppression: no " + e.name + " diagnostic fires on the suppressed line anymore",
+			Hint:     "delete the //lisi:ignore comment (or re-point it if the code moved)",
+		})
+	}
+	return out
 }
 
 func lineKey(file string, line int) string {
@@ -93,8 +124,21 @@ func itoa(n int) string {
 	return string(buf[i:])
 }
 
-// suppresses reports whether d is silenced by an ignore comment.
+// suppresses reports whether d is silenced by an ignore comment, and
+// marks the matching entry used for the stale audit.
 func (ix *ignoreIndex) suppresses(d Diagnostic) bool {
 	set := ix.byLine[lineKey(d.Pos.Filename, d.Pos.Line)]
-	return set != nil && (set[d.Analyzer] || set["all"])
+	if set == nil {
+		return false
+	}
+	hit := false
+	if e := set[d.Analyzer]; e != nil {
+		e.used = true
+		hit = true
+	}
+	if e := set["all"]; e != nil {
+		e.used = true
+		hit = true
+	}
+	return hit
 }

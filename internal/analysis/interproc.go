@@ -1,0 +1,386 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// This file is the interprocedural half of the engine: a Program indexes
+// every function declaration of the packages under analysis (the
+// call-graph nodes), and per-function Summaries record the facts the
+// analyzers propagate across call edges — which comm collectives a
+// function transitively performs, whether its results derive from
+// Comm.Rank, and which of its slice parameters it hands to the comm layer
+// as message payloads. Propagation is demand-driven and bounded: a
+// summary looks through at most summaryDepth levels of module-local
+// static calls, which keeps the analysis linear in practice and
+// guarantees termination without a fixpoint; recursion inside the bound
+// is cut by returning the (empty) in-progress summary, so cyclic call
+// chains under-approximate rather than loop. The sets inside a summary
+// are sorted, so everything derived from them is deterministic.
+//
+// Soundness caveats (documented in docs/ANALYSIS.md): only static calls
+// to module-local functions and methods are followed — calls through
+// interfaces, function values, and the standard library contribute
+// nothing to a summary; a call chain deeper than summaryDepth is
+// likewise invisible. Both err on the side of silence, matching the
+// suite's no-false-alarm bias.
+
+// summaryDepth bounds how many module-local call edges a summary looks
+// through. Four levels cover every helper chain in this repository
+// (driver → solver → workspace helper → comm) with slack.
+const summaryDepth = 4
+
+// Program is the cross-package index shared by one Run invocation.
+type Program struct {
+	fns  map[types.Object]*FuncNode
+	sums map[types.Object]*Summary
+}
+
+// FuncNode ties a function object to its declaration and the package
+// the declaration was parsed in.
+type FuncNode struct {
+	Pkg  *Package
+	Decl *ast.FuncDecl
+}
+
+// Summary holds the propagated facts for one function.
+type Summary struct {
+	// Collectives are the comm collective method names the function
+	// transitively calls (sorted, deduplicated). Goroutines spawned by
+	// the function count: the collective still executes on behalf of
+	// this call.
+	Collectives []string
+	// Blocking extends Collectives with the point-to-point Send*/Recv*
+	// calls — everything that can park a rank.
+	Blocking []string
+	// ReturnsRank reports that some return value derives from
+	// Comm.Rank() (directly, through a rank-assigned local, or through
+	// a helper that itself ReturnsRank), so callers' conditions on the
+	// result are rank-dependent.
+	ReturnsRank bool
+	// Payload maps a parameter index to the comm payload use the
+	// function (transitively) makes of that parameter: the argument is
+	// handed to the comm layer as a message buffer. Mutates records
+	// whether any of those uses writes the buffer (*Into / *InPlace
+	// receives and collectives) rather than only reading it (sends).
+	Payload map[int]ParamPayload
+}
+
+// ParamPayload describes how one parameter flows into the comm layer.
+type ParamPayload struct {
+	// Calls are the comm method names the parameter is passed to,
+	// sorted and deduplicated.
+	Calls []string
+	// Mutates is true when at least one of those calls writes the
+	// buffer (an *Into destination or *InPlace operand).
+	Mutates bool
+}
+
+// emptySummary is returned for unresolved callees and while a summary is
+// being computed (recursion cut).
+var emptySummary = &Summary{}
+
+// NewProgram indexes the given packages. All packages must share one
+// loader (and therefore one types universe), which Run guarantees.
+func NewProgram(pkgs []*Package) *Program {
+	p := &Program{
+		fns:  make(map[types.Object]*FuncNode),
+		sums: make(map[types.Object]*Summary),
+	}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if obj := pkg.Info.Defs[fd.Name]; obj != nil {
+					p.fns[obj] = &FuncNode{Pkg: pkg, Decl: fd}
+				}
+			}
+		}
+	}
+	return p
+}
+
+// calleeObject resolves the function or method object a call invokes,
+// or nil for indirect calls (function values, interface methods whose
+// concrete type is unknown, builtins).
+func calleeObject(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			// Interface method objects resolve, but have no body in the
+			// index, so NodeOf returns nil for them — which is the
+			// under-approximation we want.
+			return fn
+		}
+	}
+	return nil
+}
+
+// NodeOf returns the declaration node for a call's callee, or nil when
+// the callee is not a module-local declared function.
+func (p *Program) NodeOf(info *types.Info, call *ast.CallExpr) *FuncNode {
+	obj := calleeObject(info, call)
+	if obj == nil {
+		return nil
+	}
+	return p.fns[obj]
+}
+
+// SummaryOf returns the (memoized) summary for a call's callee. The
+// empty summary stands in for everything unresolved, so callers never
+// see nil.
+func (p *Program) SummaryOf(info *types.Info, call *ast.CallExpr) *Summary {
+	obj := calleeObject(info, call)
+	if obj == nil {
+		return emptySummary
+	}
+	return p.summarize(obj, summaryDepth)
+}
+
+// summarize computes the summary for one function object with the given
+// remaining call-edge budget.
+func (p *Program) summarize(obj types.Object, depth int) *Summary {
+	if s, ok := p.sums[obj]; ok {
+		return s
+	}
+	node := p.fns[obj]
+	if node == nil || depth <= 0 {
+		return emptySummary
+	}
+	// Reserve the slot: recursive chains see the empty summary instead
+	// of looping. The final summary replaces the reservation below.
+	p.sums[obj] = emptySummary
+	s := p.computeSummary(node, depth)
+	p.sums[obj] = s
+	return s
+}
+
+// computeSummary walks one function body and merges callee summaries.
+func (p *Program) computeSummary(node *FuncNode, depth int) *Summary {
+	info := node.Pkg.Info
+	s := &Summary{Payload: make(map[int]ParamPayload)}
+	colls := map[string]bool{}
+	blocks := map[string]bool{}
+	payload := map[int]map[string]bool{}
+	payloadMut := map[int]bool{}
+
+	params := paramObjects(info, node.Decl)
+	tainted := rankTaintedObjects(p, node.Pkg, node.Decl.Body, depth)
+
+	ast.Inspect(node.Decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			for _, e := range n.Results {
+				if p.rankDerived(node.Pkg, e, tainted, depth) {
+					s.ReturnsRank = true
+				}
+			}
+		case *ast.CallExpr:
+			if name, ok := isBlockingCommCall(info, n); ok {
+				blocks[name] = true
+				if hasAnyPrefix(name, collectivePrefixes) {
+					colls[name] = true
+				}
+				mut := commCallMutatesPayload(name)
+				for _, arg := range n.Args {
+					idx, ok := params[rootObject(info, arg)]
+					if !ok || !isSliceExpr(info, arg) {
+						continue
+					}
+					addPayload(payload, payloadMut, idx, "Comm."+name, mut)
+				}
+				return true
+			}
+			callee := calleeObject(info, n)
+			if callee == nil {
+				return true
+			}
+			cs := p.summarize(callee, depth-1)
+			for _, c := range cs.Collectives {
+				colls[c] = true
+			}
+			for _, b := range cs.Blocking {
+				blocks[b] = true
+			}
+			if len(cs.Payload) > 0 {
+				for j, arg := range n.Args {
+					pp, ok := cs.Payload[j]
+					if !ok {
+						continue
+					}
+					idx, ok := params[rootObject(info, arg)]
+					if !ok {
+						continue
+					}
+					for _, call := range pp.Calls {
+						addPayload(payload, payloadMut, idx, call, pp.Mutates)
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	s.Collectives = sortedKeys(colls)
+	s.Blocking = sortedKeys(blocks)
+	for idx, calls := range payload {
+		s.Payload[idx] = ParamPayload{Calls: sortedKeys(calls), Mutates: payloadMut[idx]}
+	}
+	return s
+}
+
+// rankDerived reports whether e contains a Rank() call, a rank-tainted
+// local, or a call to a helper whose summary ReturnsRank.
+func (p *Program) rankDerived(pkg *Package, e ast.Expr, tainted map[types.Object]bool, depth int) bool {
+	if e == nil {
+		return false
+	}
+	dep := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if isRankCall(pkg.Info, n) {
+				dep = true
+			} else if callee := calleeObject(pkg.Info, n); callee != nil && depth > 0 {
+				if p.summarize(callee, depth-1).ReturnsRank {
+					dep = true
+				}
+			}
+		case *ast.Ident:
+			if obj := pkg.Info.Uses[n]; obj != nil && tainted[obj] {
+				dep = true
+			}
+		}
+		return !dep
+	})
+	return dep
+}
+
+// rankTaintedObjects collects locals assigned (anywhere in body) from a
+// rank-derived expression. Unlike collectivesym's AST-object variant this
+// keys on types.Object, so it works uniformly across packages.
+func rankTaintedObjects(p *Program, pkg *Package, body *ast.BlockStmt, depth int) map[types.Object]bool {
+	tainted := make(map[types.Object]bool)
+	// Two passes so `a := c.Rank(); b := a` taints b regardless of
+	// statement order quirks; deeper chains are rare and out of scope.
+	for range [2]struct{}{} {
+		ast.Inspect(body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for i, rhs := range as.Rhs {
+				if i >= len(as.Lhs) {
+					break
+				}
+				if !p.rankDerived(pkg, rhs, tainted, depth) {
+					continue
+				}
+				if id, ok := as.Lhs[i].(*ast.Ident); ok {
+					if obj := pkg.Info.Defs[id]; obj != nil {
+						tainted[obj] = true
+					} else if obj := pkg.Info.Uses[id]; obj != nil {
+						tainted[obj] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	return tainted
+}
+
+// paramObjects maps each named parameter's object to its flat index.
+func paramObjects(info *types.Info, decl *ast.FuncDecl) map[types.Object]int {
+	params := make(map[types.Object]int)
+	if decl.Type.Params == nil {
+		return params
+	}
+	idx := 0
+	for _, field := range decl.Type.Params.List {
+		if len(field.Names) == 0 {
+			idx++
+			continue
+		}
+		for _, name := range field.Names {
+			if obj := info.Defs[name]; obj != nil {
+				params[obj] = idx
+			}
+			idx++
+		}
+	}
+	return params
+}
+
+// rootObject unwraps index/slice/paren expressions and returns the
+// object of the root identifier, or nil.
+func rootObject(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.Ident:
+			if obj := info.Uses[x]; obj != nil {
+				return obj
+			}
+			return info.Defs[x]
+		default:
+			return nil
+		}
+	}
+}
+
+// isSliceExpr reports whether e's type is a slice (after unwrapping the
+// expression is unnecessary — the type checker already did).
+func isSliceExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isSlice := tv.Type.Underlying().(*types.Slice)
+	return isSlice
+}
+
+// commCallMutatesPayload reports whether the named comm call writes the
+// buffers it is handed: the *Into destinations and *InPlace operands,
+// plus every Recv (the payload lands in the argument).
+func commCallMutatesPayload(name string) bool {
+	return strings.Contains(name, "Into") || strings.Contains(name, "InPlace") ||
+		strings.HasPrefix(name, "Recv")
+}
+
+func addPayload(payload map[int]map[string]bool, mut map[int]bool, idx int, call string, mutates bool) {
+	if payload[idx] == nil {
+		payload[idx] = make(map[string]bool)
+	}
+	payload[idx][call] = true
+	if mutates {
+		mut[idx] = true
+	}
+}
+
+func sortedKeys(set map[string]bool) []string {
+	if len(set) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,245 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// SpmdDet flags constructs that break the bitwise-determinism contract:
+// every rank of every run must compute bit-identical results
+// (docs/PERFORMANCE.md's fusion policy is the reduction half of that
+// contract; this analyzer guards the ordering half). Three checks:
+//
+//  1. Map iteration feeding comm: Go randomizes map range order per
+//     process, so a comm call (point-to-point or collective) issued
+//     from inside a `for … range m` over a map — directly or through a
+//     helper whose summary shows it transitively performs comm — sends
+//     payloads or joins collectives in a different order on every rank.
+//     Cross-rank this is a deadlock or a payload permutation; either
+//     way results stop being reproducible. Collect the keys, sort them,
+//     and iterate the sorted slice (the idiom aztec's overlap handshake
+//     uses).
+//
+//  2. Map-ordered float folds: accumulating into a floating-point
+//     variable declared outside a map range loop folds in random order;
+//     float addition does not reassociate bitwise, so two runs of the
+//     same rank disagree in the last ulp. Integer accumulation and
+//     key-collection are untouched.
+//
+//  3. Goroutine-shared float accumulation: `go func() { shared += … }`
+//     against a captured float has no fixed fold order (and is a data
+//     race). The supported idiom — each goroutine writing its own slot
+//     of a partials slice, folded in index order after the join — is
+//     not flagged (indexed writes are exempt).
+//
+// Additionally, in the Krylov backend packages (ksp, aztec) every
+// AllReduceFloat64sInPlace call must live in a `fused*` workspace
+// helper: those helpers are the audited fused-reduction inventory whose
+// rank-order fold is documented bitwise-neutral; an ad-hoc in-place
+// reduction elsewhere is where a non-neutral reassociation of the
+// fused reductions would slip in.
+var SpmdDet = &Analyzer{
+	Name: "spmddet",
+	Doc: "flags SPMD determinism hazards: comm calls or floating-point folds ordered by map iteration, " +
+		"goroutine-shared float accumulation without a fixed fold order, and in-place reductions in " +
+		"ksp/aztec outside the audited fused* helper inventory",
+	Run: runSpmdDet,
+}
+
+func runSpmdDet(pass *Pass) {
+	seg := pass.Pkg.Path
+	if i := strings.LastIndex(seg, "/"); i >= 0 {
+		seg = seg[i+1:]
+	}
+	fusedInventory := seg == "ksp" || seg == "aztec"
+	for _, f := range pass.Pkg.Files {
+		funcsOf(f, func(name string, body *ast.BlockStmt) {
+			spmdMapRanges(pass, body)
+			spmdGoroutineAccum(pass, body)
+			if fusedInventory {
+				spmdFusedInventory(pass, name, body)
+			}
+		})
+	}
+}
+
+// spmdMapRanges implements checks 1 and 2 for one function body.
+func spmdMapRanges(pass *Pass, body *ast.BlockStmt) {
+	info := pass.Pkg.Info
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := info.Types[rng.X]
+		if !ok || tv.Type == nil {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		spmdMapBody(pass, rng)
+		return true
+	})
+}
+
+// spmdMapBody scans one map range body. Function literals are included:
+// a goroutine or callback spawned per map entry inherits the random
+// order.
+func spmdMapBody(pass *Pass, rng *ast.RangeStmt) {
+	info := pass.Pkg.Info
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.RangeStmt:
+			// A nested map range is its own finding site; skip it here so
+			// its body is not reported twice.
+			if tv, ok := info.Types[s.X]; ok && tv.Type != nil {
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					return false
+				}
+			}
+		case *ast.CallExpr:
+			if name, ok := isBlockingCommCall(info, s); ok {
+				pass.Report(s.Pos(),
+					"comm call Comm."+name+" is issued in map iteration order, which is randomized per process; "+
+						"ranks would send payloads or join collectives in different orders",
+					"collect the map keys, sort them, and iterate the sorted slice, or suppress with //lisi:ignore spmddet <reason>")
+				return true
+			}
+			if pass.Prog != nil {
+				if sum := pass.Prog.SummaryOf(info, s); len(sum.Blocking) > 0 {
+					pass.Report(s.Pos(),
+						"call to "+exprString(s.Fun)+" inside a map range transitively performs comm (Comm."+sum.Blocking[0]+") "+
+							"in map iteration order, which is randomized per process",
+						"collect the map keys, sort them, and iterate the sorted slice, or suppress with //lisi:ignore spmddet <reason>")
+				}
+			}
+		case *ast.AssignStmt:
+			if acc, name := floatAccumulation(info, s); acc != nil && declaredOutside(info, acc, rng.Pos(), rng.End()) {
+				pass.Report(s.Pos(),
+					"floating-point accumulation into "+name+" in map iteration order folds in a randomized order; "+
+						"float addition is not bitwise reassociative, so results differ run to run and rank to rank",
+					"iterate sorted keys, or accumulate per key and fold in a fixed order, or suppress with //lisi:ignore spmddet <reason>")
+			}
+		}
+		return true
+	})
+}
+
+// floatAccumulation returns the accumulated identifier (and its
+// rendering) when s is a floating-point accumulation: an op-assign
+// (`x += v`, `x *= v`, …) or the spelled-out `x = x + v` form. The
+// target must be a plain identifier — indexed writes (`partial[i] += v`)
+// are the fixed-slot idiom and stay exempt.
+func floatAccumulation(info *types.Info, s *ast.AssignStmt) (*ast.Ident, string) {
+	if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+		return nil, ""
+	}
+	id, ok := ast.Unparen(s.Lhs[0]).(*ast.Ident)
+	if !ok || !isFloatExpr(info, id) {
+		return nil, ""
+	}
+	switch s.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		return id, id.Name
+	case token.ASSIGN:
+		// x = x + v (or v + x, x - v, …).
+		bin, ok := ast.Unparen(s.Rhs[0]).(*ast.BinaryExpr)
+		if !ok {
+			return nil, ""
+		}
+		switch bin.Op {
+		case token.ADD, token.SUB, token.MUL, token.QUO:
+		default:
+			return nil, ""
+		}
+		if exprString(ast.Unparen(bin.X)) == id.Name || exprString(ast.Unparen(bin.Y)) == id.Name {
+			return id, id.Name
+		}
+	}
+	return nil, ""
+}
+
+func isFloatExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// declaredOutside reports whether id's object is declared outside the
+// [from, to] node range — i.e. the variable outlives the loop or
+// literal, making cross-iteration accumulation order observable.
+func declaredOutside(info *types.Info, id *ast.Ident, from, to token.Pos) bool {
+	obj := info.Uses[id]
+	if obj == nil {
+		obj = info.Defs[id]
+	}
+	if obj == nil {
+		return false
+	}
+	return obj.Pos() < from || obj.Pos() > to
+}
+
+// spmdGoroutineAccum implements check 3 for one function body: float
+// accumulation inside a `go func() { … }` into a variable captured from
+// the enclosing scope.
+func spmdGoroutineAccum(pass *Pass, body *ast.BlockStmt) {
+	info := pass.Pkg.Info
+	ast.Inspect(body, func(n ast.Node) bool {
+		g, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		ast.Inspect(lit.Body, func(m ast.Node) bool {
+			s, ok := m.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			if acc, name := floatAccumulation(info, s); acc != nil && declaredOutside(info, acc, lit.Pos(), lit.End()) {
+				pass.Report(s.Pos(),
+					"goroutine accumulates into shared float "+name+" with no fixed fold order (and races); "+
+						"cross-rank bitwise reproducibility is lost even if a mutex serializes the adds",
+					"give each goroutine its own slot in a partials slice and fold the slots in index order after the join, or suppress with //lisi:ignore spmddet <reason>")
+			}
+			return true
+		})
+		return true
+	})
+}
+
+// spmdFusedInventory enforces the fused-reduction inventory in ksp and
+// aztec: AllReduceFloat64sInPlace only inside fused* helpers.
+func spmdFusedInventory(pass *Pass, fnName string, body *ast.BlockStmt) {
+	if strings.HasPrefix(fnName, "fused") {
+		return
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if commMethod(pass.Pkg.Info, call) == "AllReduceFloat64sInPlace" {
+			pass.Report(call.Pos(),
+				"in-place fused reduction outside the audited fused* helper inventory ("+fnName+"); "+
+					"docs/PERFORMANCE.md requires every fused reduction to live in a fused* workspace helper "+
+					"so its rank-order fold stays bitwise-neutral and reviewable",
+				"move the reduction into a fused* helper in workspace.go (fusing only independent same-iteration reductions), or suppress with //lisi:ignore spmddet <reason>")
+		}
+		return true
+	})
+}

@@ -1,0 +1,38 @@
+// Fixture for the bufown analyzer's recycle-discipline check, which is
+// scoped to packages whose import path ends in /comm (this directory
+// qualifies, mirroring the real runtime): after putBuf a pooled payload
+// belongs to the pool — a second recycle or any later touch hands two
+// owners the same backing array.
+package comm
+
+// poolBuf stands in for the runtime's pooled payload wrapper.
+type poolBuf struct{ f []float64 }
+
+func putBuf(pb *poolBuf) {}
+
+func getBuf(n int) *poolBuf { return &poolBuf{f: make([]float64, n)} }
+
+func doubleRecycle(pb *poolBuf) {
+	putBuf(pb)
+	putBuf(pb) // want "pooled payload pb is recycled twice"
+}
+
+func useAfterRecycle(pb *poolBuf) []float64 {
+	putBuf(pb)
+	return pb.f // want "pooled payload pb is used after being recycled"
+}
+
+// cleanRecycle is the legal shape: read everything first, recycle once.
+func cleanRecycle(pb *poolBuf) float64 {
+	v := pb.f[0]
+	putBuf(pb)
+	return v
+}
+
+// distinctBuffers is legal: two recycles, two different payloads.
+func distinctBuffers() {
+	a := getBuf(4)
+	b := getBuf(4)
+	putBuf(a)
+	putBuf(b)
+}

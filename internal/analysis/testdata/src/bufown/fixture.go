@@ -1,0 +1,70 @@
+// Fixture for the bufown analyzer's in-flight aliasing check: buffers
+// posted to asynchronous comm calls (directly, through a goroutine
+// literal, or through a helper that transitively hands them to the comm
+// layer) must not be touched while the call is in flight. Synchronous
+// pooled sends copy before returning, so sequential reuse stays legal.
+package bufown
+
+import "repro/internal/comm"
+
+func asyncSendAliased(c *comm.Comm, buf []float64) {
+	go c.SendFloat64sPooled(1, 0, buf)
+	buf[0] = 1 // want "write of buf while it is posted to in-flight Comm.SendFloat64sPooled"
+}
+
+func inflightCollectiveRead(c *comm.Comm, buf []float64) float64 {
+	go c.AllReduceFloat64sInPlace(buf, comm.OpSum)
+	return buf[0] // want "use of buf while it is posted to in-flight Comm.AllReduceFloat64sInPlace"
+}
+
+func litCaptureCopy(c *comm.Comm, buf, next []float64) {
+	go func() { c.SendFloat64sPooled(1, 0, buf) }()
+	copy(buf, next) // want "write of buf while it is posted to in-flight Comm.SendFloat64sPooled"
+}
+
+// post is the helper the interprocedural case looks through: its second
+// parameter flows into the comm layer as a payload.
+func post(c *comm.Comm, b []float64) {
+	c.SendFloat64sPooled(1, 0, b)
+}
+
+func helperPostAliased(c *comm.Comm, buf []float64) {
+	go post(c, buf)
+	buf[2] = 3 // want "write of buf while it is posted to in-flight post"
+}
+
+// helperPostUntouched is the legal interprocedural shape: the buffer is
+// posted through the helper but never touched afterwards.
+func helperPostUntouched(c *comm.Comm, buf []float64) {
+	go post(c, buf)
+}
+
+// helperSyncPost is legal: the helper runs synchronously, so the send
+// has completed (and copied) before the write.
+func helperSyncPost(c *comm.Comm, buf []float64) {
+	post(c, buf)
+	buf[0] = 1
+}
+
+// syncSendThenWrite is legal: SendFloat64sPooled copies into a pooled
+// buffer before returning, so the caller keeps ownership (rule 1).
+func syncSendThenWrite(c *comm.Comm, buf []float64) {
+	c.SendFloat64sPooled(1, 0, buf)
+	buf[0] = 1
+}
+
+// writeBeforePost is legal: the write happens before the buffer is
+// posted.
+func writeBeforePost(c *comm.Comm, buf []float64) {
+	buf[0] = 1
+	go c.SendFloat64sPooled(1, 0, buf)
+}
+
+// litLocalBuffer is legal: the goroutine posts a buffer it allocated
+// itself; nothing outside the literal can alias it.
+func litLocalBuffer(c *comm.Comm, n int) {
+	go func() {
+		local := make([]float64, n)
+		c.SendFloat64sPooled(1, 0, local)
+	}()
+}

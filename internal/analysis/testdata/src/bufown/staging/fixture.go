@@ -1,0 +1,42 @@
+// Fixture for the bufown analyzer's ownership-boundary check: a receiver
+// field staged into a pooled send anywhere in the type's methods is
+// plan-owned forever (docs/PERFORMANCE.md rule 5); no method of the type
+// may return it.
+package staging
+
+import "repro/internal/comm"
+
+type plan struct {
+	sendBuf [][]float64
+	scratch []float64
+}
+
+// stage posts the per-peer staging buffers through the local alias the
+// real staging loops use (`buf := p.sendBuf[r]`).
+func (p *plan) stage(c *comm.Comm, peers []int) {
+	for _, r := range peers {
+		buf := p.sendBuf[r]
+		c.SendFloat64sPooled(r, 1, buf)
+	}
+}
+
+// stageDirect covers the unaliased shape.
+func (p *plan) stageDirect(c *comm.Comm, r int) {
+	c.SendFloat64sPooled(r, 1, p.sendBuf[r])
+}
+
+func (p *plan) leakStaging(r int) []float64 {
+	return p.sendBuf[r] // want "returning plan-owned pooled staging buffer plan.sendBuf across the ownership boundary"
+}
+
+// okScratch is legal: scratch is never staged into a pooled send.
+func (p *plan) okScratch() []float64 {
+	return p.scratch
+}
+
+// okCopy is legal: the caller gets its own copy, not the staging buffer.
+func (p *plan) okCopy(r int) []float64 {
+	out := make([]float64, len(p.sendBuf[r]))
+	copy(out, p.sendBuf[r])
+	return out
+}

@@ -1,0 +1,86 @@
+// Fixture for collectivesym's interprocedural cases: a helper that
+// transitively performs a collective is as dangerous under a rank guard
+// as the collective itself, and a helper whose result derives from
+// Rank() makes conditions on that result rank-dependent. The same
+// helpers called unconditionally must stay silent.
+package interproc
+
+import "repro/internal/comm"
+
+// sync wraps Barrier one call deep; syncDeep two deep.
+func sync(c *comm.Comm) {
+	c.Barrier()
+}
+
+func syncDeep(c *comm.Comm) {
+	sync(c)
+}
+
+// isRoot returns a rank-derived value, so callers' conditions on it are
+// rank-dependent.
+func isRoot(c *comm.Comm) bool {
+	return c.Rank() == 0
+}
+
+func rankGatedHelper(c *comm.Comm) {
+	if c.Rank() == 0 {
+		sync(c) // want "call to sync is control-dependent on the rank .* transitively performs collective Comm.Barrier"
+	}
+}
+
+func rankGatedDeepHelper(c *comm.Comm) {
+	if c.Rank() > 0 {
+		syncDeep(c) // want "call to syncDeep is control-dependent on the rank .* transitively performs collective Comm.Barrier"
+	}
+}
+
+func helperReturnGate(c *comm.Comm) {
+	if isRoot(c) {
+		c.Barrier() // want "collective Comm.Barrier is control-dependent on the rank"
+	}
+}
+
+func taintedViaHelper(c *comm.Comm) {
+	root := isRoot(c)
+	if root {
+		sync(c) // want "transitively performs collective Comm.Barrier"
+	}
+}
+
+// unconditionalHelper must not fire: every rank reaches the wrapped
+// Barrier.
+func unconditionalHelper(c *comm.Comm) {
+	sync(c)
+}
+
+// fatalDivergence: a rank-gated branch ending in a no-return call (the
+// t.Fatal family) diverts the guarded ranks from the collective below
+// exactly like an early return.
+type failer interface {
+	Fatalf(format string, args ...any)
+}
+
+func fatalDivergence(c *comm.Comm, t failer) {
+	if c.Rank() != 0 {
+		t.Fatalf("rank %d bails", c.Rank())
+	}
+	c.Barrier() // want "control-dependent on the rank"
+}
+
+func panicDivergence(c *comm.Comm) {
+	if c.Rank() != 0 {
+		panic("not root")
+	}
+	c.Barrier() // want "control-dependent on the rank"
+}
+
+// symmetricPrep must not fire: the rank branch only prepares data; every
+// rank reaches the helper.
+func symmetricPrep(c *comm.Comm) {
+	v := 0.0
+	if c.Rank() == 0 {
+		v = 42
+	}
+	_ = v
+	sync(c)
+}

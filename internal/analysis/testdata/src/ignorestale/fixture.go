@@ -1,0 +1,18 @@
+// Fixture for the -ignore-audit mode: the first suppression silences a
+// live finding and must not be reported; the second suppresses nothing
+// and must be flagged as stale.
+package ignorestale
+
+import "repro/internal/comm"
+
+func gated(c *comm.Comm) {
+	if c.Rank() == 0 {
+		//lisi:ignore collectivesym fixture: suppression in active use
+		c.Barrier()
+	}
+}
+
+func clean(c *comm.Comm) {
+	//lisi:ignore collectivesym nothing fires on the next line
+	c.Barrier()
+}

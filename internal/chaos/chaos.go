@@ -151,12 +151,17 @@ func Run(cfg Config) (Result, error) {
 		e.res, e.err = s.Solve(ctx, x)
 		if e.err == nil {
 			// Verify the answer against the staged operator — a chaos
-			// run may end "converged" only with a true solution.
+			// run may end "converged" only with a true solution. Safe to
+			// gate the collective Residual on e.err: Solve's retry and
+			// failover decisions derive from a collectively identical
+			// FailReason (see core/session.go), so every rank returns the
+			// same error disposition and takes the same branch here.
 			m, err := pmat.NewMat(l, a)
 			if err != nil {
 				e.setupErr = err
 				return
 			}
+			//lisi:ignore collectivesym Solve errors are collectively identical, every rank takes the same branch
 			e.residual = m.Residual(b, x)
 		}
 	})

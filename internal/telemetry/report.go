@@ -101,11 +101,18 @@ func (r *Recorder) Report(solver string) *SolveReport {
 	return rep
 }
 
-// PhaseSum returns the total attributed seconds across all phases.
+// PhaseSum returns the total attributed seconds across all phases,
+// folded in sorted phase-name order so the sum is bit-identical across
+// runs (map iteration order is randomized per process).
 func (rep *SolveReport) PhaseSum() float64 {
+	names := make([]string, 0, len(rep.Phases))
+	for name := range rep.Phases {
+		names = append(names, name)
+	}
+	sort.Strings(names)
 	total := 0.0
-	for _, s := range rep.Phases {
-		total += s
+	for _, name := range names {
+		total += rep.Phases[name]
 	}
 	return total
 }
