@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test check race vet fmt lint vet-self ignore-audit bench benchguard baseline telemetry chaos chaos-service serve-integration fuzz clean
+.PHONY: all build test check race workers vet fmt lint vet-self ignore-audit bench benchguard baseline telemetry chaos chaos-service serve-integration fuzz clean
 
 all: check
 
@@ -16,7 +16,12 @@ test:
 check: build vet fmt lint vet-self test race
 
 race:
-	$(GO) test -race ./internal/comm/... ./internal/pmat/... ./internal/core/... ./internal/telemetry/... ./internal/bench/... ./internal/service/...
+	$(GO) test -race ./internal/comm/... ./internal/pmat/... ./internal/core/... ./internal/telemetry/... ./internal/bench/... ./internal/service/... ./internal/par/... ./internal/slu/...
+
+# workers = CI's workers-pool leg: the whole suite with every session
+# forced onto a pooled backend (core's LISI_WORKERS env fallback).
+workers:
+	LISI_WORKERS=4 $(GO) test -race -count=1 ./...
 
 vet:
 	$(GO) vet ./...
@@ -82,6 +87,7 @@ fuzz:
 		$(GO) test -run='^$$' -fuzz="^$$t\$$" -fuzztime=$(FUZZTIME) ./internal/sparse || exit 1; done
 	for t in FuzzPartition FuzzGenerateRows; do \
 		$(GO) test -run='^$$' -fuzz="^$$t\$$" -fuzztime=$(FUZZTIME) ./internal/mesh || exit 1; done
+	$(GO) test -run='^$$' -fuzz='^FuzzLevels$$' -fuzztime=$(FUZZTIME) ./internal/par
 
 clean:
 	rm -f telemetry.json out.json

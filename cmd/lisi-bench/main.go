@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strconv"
 
 	"repro/internal/bench"
 	"repro/internal/comm"
@@ -50,6 +51,7 @@ func main() {
 	grid := flag.Int("grid", 0, "override Figure 5 grid size n (0 = paper's n=200, nnz=199200)")
 	stat := flag.String("stat", "median", "aggregate repeated runs with \"median\" (robust) or \"mean\" (as the paper)")
 	timeout := flag.Duration("timeout", 0, "overall campaign deadline (0 = none); expiry exits with status 124")
+	workers := flag.Int("workers", 1, "intra-rank worker-pool size for the CCA measurements (results are bitwise-identical for any count)")
 	telemetryOut := flag.String("telemetry", "", "write instrumented per-phase solve reports to this JSON file")
 	faultSpec := flag.String("fault-spec", "",
 		"arm this deterministic fault-injection schedule on every measurement world "+
@@ -91,6 +93,12 @@ func main() {
 	}
 
 	params := bench.DefaultParams()
+	if *workers > 1 {
+		// workers=1 is the serial default; only a parallel pool needs the
+		// parameter (the CCA side sets it per backend, the native side has
+		// no intra-rank pool — another port-vocabulary difference).
+		params["workers"] = strconv.Itoa(*workers)
+	}
 
 	// SIGINT and -timeout both cancel the campaign context; the harness
 	// returns whatever it completed so far plus the cancellation cause.

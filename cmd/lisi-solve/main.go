@@ -67,6 +67,7 @@ func main() {
 	solver := flag.String("solver", "petsc",
 		fmt.Sprintf("solver backend: one of %s", strings.Join(core.Names(), ", ")))
 	procs := flag.Int("procs", 2, "simulated processor count")
+	workers := flag.Int("workers", 1, "intra-rank worker-pool size for the backend's kernels (results are bitwise-identical for any count)")
 	timeout := flag.Duration("timeout", 0, "per-solve deadline (0 = none); expiry exits with status 124")
 	params := setFlags{}
 	flag.Var(params, "set", "LISI parameter key=value (repeatable)")
@@ -166,6 +167,7 @@ func main() {
 			Recorder:     rec,
 			SolveTimeout: *timeout,
 			Params:       params,
+			Workers:      *workers,
 			Failover:     failoverChain,
 			MaxAttempts:  *maxAttempts,
 		})

@@ -7,6 +7,7 @@ import (
 	"os"
 
 	"repro/internal/comm"
+	"repro/internal/par"
 	"repro/internal/pmat"
 	"repro/internal/sparse"
 	"repro/internal/telemetry"
@@ -36,6 +37,44 @@ type Solver struct {
 	precParams []float64
 	bb         []float64
 	ws         azWorkspace
+
+	// pool is the intra-rank worker pool (nil = legacy serial path):
+	// local reduction halves route through its fixed-slot fold, the
+	// distributed product of a CrsMatrix row-partitions across it, and
+	// pool-aware preconditioners inherit it for level-scheduled sweeps.
+	pool *par.Pool
+}
+
+// SetPool attaches an intra-rank worker pool (nil restores the serial
+// path). The pool is caller-owned. Idempotent; call after the matrix is
+// set so the distributed product and a cached preconditioner pick it up.
+func (s *Solver) SetPool(p *par.Pool) {
+	s.pool = p
+	if cm, ok := s.rm.(*CrsMatrix); ok && cm != nil && cm.Dist() != nil {
+		cm.Dist().SetPool(p)
+	}
+	if pa, ok := s.prec.(poolAware); ok {
+		pa.setPool(p)
+	}
+}
+
+// lDot and lNorm2 are the local halves of the global reductions: the
+// pooled fixed-slot fold when a pool is attached (bitwise-identical
+// for every worker count), exactly sparse.Dot / sparse.Norm2 without
+// one. All fused* helpers funnel through them, preserving the audited
+// rank-order fold.
+func (s *Solver) lDot(x, y []float64) float64 {
+	if s.pool != nil {
+		return s.pool.Dot(x, y)
+	}
+	return sparse.Dot(x, y)
+}
+
+func (s *Solver) lNorm2(x []float64) float64 {
+	if s.pool != nil {
+		return s.pool.Norm2(x)
+	}
+	return sparse.Norm2(x)
 }
 
 // NewSolver creates a solver with default options and parameters.
@@ -169,6 +208,9 @@ func (s *Solver) Solve(x, b []float64) error {
 			return err
 		}
 		s.prec = prec
+		if pa, ok := prec.(poolAware); ok {
+			pa.setPool(s.pool)
+		}
 		s.precOpts = append(s.precOpts[:0], s.options...)
 		s.precParams = append(s.precParams[:0], s.params...)
 	}

@@ -117,6 +117,10 @@ func (ac *AztecComponent) Set(key, value string) int {
 		if v, err := strconv.Atoi(value); err != nil || v < 0 {
 			return ErrBadArg
 		}
+	case "workers":
+		if !validWorkers(value) {
+			return ErrBadArg
+		}
 	default:
 		return ErrUnknownKey
 	}
@@ -249,6 +253,7 @@ func (ac *AztecComponent) Solve(solution []float64, status []float64, numLocalRo
 		}
 	}
 	s.SetRecorder(ac.rec)
+	s.SetPool(ac.workerPool())
 
 	totalIts := 0
 	lastNorm := 0.0
@@ -266,6 +271,7 @@ func (ac *AztecComponent) Solve(solution []float64, status []float64, numLocalRo
 		totalIts += s.NumIters()
 		lastNorm = s.Status()[aztec.AZr]
 	}
+	ac.recordPoolStats()
 	writeStatus(status, statusLength, totalIts, lastNorm, true, ac.factorizations, FailNone)
 	return OK
 }

@@ -91,6 +91,10 @@ func (kc *KSPComponent) Set(key, value string) int {
 		if _, err := strconv.ParseBool(value); err != nil {
 			return ErrBadArg
 		}
+	case "workers":
+		if !validWorkers(value) {
+			return ErrBadArg
+		}
 	default:
 		return ErrUnknownKey
 	}
@@ -238,6 +242,7 @@ func (kc *KSPComponent) Solve(solution []float64, status []float64, numLocalRow,
 	k := kc.k
 	k.SetOperators(kc.op)
 	k.SetRecorder(kc.rec)
+	k.SetPool(kc.workerPool())
 
 	totalIts := 0
 	lastNorm := 0.0
@@ -252,6 +257,7 @@ func (kc *KSPComponent) Solve(solution []float64, status []float64, numLocalRow,
 		totalIts += k.Iterations()
 		lastNorm = k.ResidualNorm()
 	}
+	kc.recordPoolStats()
 	writeStatus(status, statusLength, totalIts, lastNorm, true, kc.factorizations, FailNone)
 	return OK
 }

@@ -78,6 +78,10 @@ func (mc *MGComponent) Set(key, value string) int {
 		if _, err := strconv.ParseBool(value); err != nil {
 			return ErrBadArg
 		}
+	case "workers":
+		if !validWorkers(value) {
+			return ErrBadArg
+		}
 	default:
 		return ErrUnknownKey
 	}
@@ -229,6 +233,7 @@ func (mc *MGComponent) Solve(solution []float64, status []float64, numLocalRow, 
 		mc.factorizations++
 	}
 	mc.solver.SetRecorder(mc.rec)
+	mc.solver.SetPool(mc.workerPool())
 
 	totalCycles := 0
 	lastNorm := 0.0
@@ -248,6 +253,7 @@ func (mc *MGComponent) Solve(solution []float64, status []float64, numLocalRow, 
 		totalCycles += mc.solver.Cycles()
 		lastNorm = mc.solver.ResidualNorm()
 	}
+	mc.recordPoolStats()
 	writeStatus(status, statusLength, totalCycles, lastNorm, true, mc.factorizations, FailNone)
 	return OK
 }

@@ -63,6 +63,10 @@ func (sc *SLUComponent) Set(key, value string) int {
 		if v, err := strconv.Atoi(value); err != nil || v < 0 {
 			return ErrBadArg
 		}
+	case key == "workers":
+		if !validWorkers(value) {
+			return ErrBadArg
+		}
 	case ignoredIterativeKeys[key]:
 		// Tolerated for seamless component swapping; recorded below.
 	default:
@@ -154,6 +158,7 @@ func (sc *SLUComponent) Solve(solution []float64, status []float64, numLocalRow,
 		sc.factorizations++
 	}
 	sc.dist.SetRecorder(sc.rec)
+	sc.dist.SetPool(sc.workerPool())
 
 	refineSteps := 0
 	if v, ok := sc.params["refine_steps"]; ok {
@@ -169,6 +174,7 @@ func (sc *SLUComponent) Solve(solution []float64, status []float64, numLocalRow,
 		}
 		lastRes = res
 	}
+	sc.recordPoolStats()
 	writeStatus(status, statusLength, 0, lastRes, true, sc.factorizations, FailNone)
 	return OK
 }

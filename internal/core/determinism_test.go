@@ -1,0 +1,123 @@
+package core
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/mesh"
+	"repro/internal/pmat"
+	"repro/internal/sparse"
+	"repro/internal/telemetry"
+)
+
+// solveTrace is one full solve outcome: the local solution bits and the
+// recorded residual history.
+type solveTrace struct {
+	x         []uint64
+	residuals []telemetry.ResidualPoint
+}
+
+// solveWithWorkers runs one session solve of the given config with the
+// requested worker count and returns its trace.
+func solveWithWorkers(t *testing.T, c *comm.Comm, backend string, gridN int, symmetric bool, params map[string]string, workers int) solveTrace {
+	t.Helper()
+	p := mesh.PaperProblem(gridN)
+	a, rhs, err := p.GenerateGlobal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if symmetric {
+		a = sparse.Laplace2D(gridN, gridN)
+		rhs = make([]float64, p.N())
+		for i := range rhs {
+			rhs[i] = 1
+		}
+	}
+	l, err := pmat.EvenLayout(c, p.N())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := telemetry.New()
+	s, err := OpenSession(backend, c, SessionOptions{
+		Params:   params,
+		Workers:  workers,
+		Recorder: rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Setup(l, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetupRHS(rhs, 1); err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, l.LocalN)
+	if _, err := s.Solve(context.Background(), x); err != nil {
+		t.Fatal(err)
+	}
+	tr := solveTrace{x: make([]uint64, len(x))}
+	for i, v := range x {
+		tr.x[i] = math.Float64bits(v)
+	}
+	tr.residuals = rec.Snapshot().Residuals
+	return tr
+}
+
+// TestSolveBitwiseDeterministicAcrossWorkers is the determinism
+// property test of the two-level parallelism model: for every backend
+// config, Session.Solve must produce byte-identical residual histories
+// and solution vectors for Workers ∈ {1, 2, 4, 7}. This is the
+// contract that makes the worker count a pure performance knob — run
+// it under -race to also exercise the pool's synchronization.
+func TestSolveBitwiseDeterministicAcrossWorkers(t *testing.T) {
+	for _, tc := range []struct {
+		name      string
+		backend   string
+		gridN     int
+		symmetric bool
+		params    map[string]string
+	}{
+		{"superlu", "superlu", 12, false, map[string]string{"refine_steps": "1"}},
+		{"petsc-cg", "petsc", 12, true, map[string]string{
+			"solver": "cg", "preconditioner": "jacobi", "tol": "1e-8", "maxits": "400"}},
+		{"petsc-gmres", "petsc", 12, false, map[string]string{
+			"solver": "gmres", "preconditioner": "bjacobi", "tol": "1e-8", "maxits": "400", "restart": "30"}},
+		{"trilinos-bicgstab", "trilinos", 12, false, map[string]string{
+			"solver": "bicgstab", "preconditioner": "ilut", "tol": "1e-8"}},
+		{"mg", "mg", 15, false, map[string]string{"grid_n": "15", "tol": "1e-8"}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			run(t, 1, func(c *comm.Comm) {
+				ref := solveWithWorkers(t, c, tc.backend, tc.gridN, tc.symmetric, tc.params, 1)
+				if len(ref.residuals) == 0 && tc.backend != "superlu" {
+					t.Fatalf("reference solve recorded no residual history")
+				}
+				for _, w := range []int{2, 4, 7} {
+					got := solveWithWorkers(t, c, tc.backend, tc.gridN, tc.symmetric, tc.params, w)
+					if len(got.residuals) != len(ref.residuals) {
+						t.Fatalf("workers=%d: residual history has %d points, workers=1 has %d",
+							w, len(got.residuals), len(ref.residuals))
+					}
+					for i := range got.residuals {
+						if math.Float64bits(got.residuals[i].Residual) != math.Float64bits(ref.residuals[i].Residual) ||
+							got.residuals[i].Iteration != ref.residuals[i].Iteration {
+							t.Fatalf("workers=%d: residual[%d] = (%d, %x), workers=1 = (%d, %x)",
+								w, i,
+								got.residuals[i].Iteration, math.Float64bits(got.residuals[i].Residual),
+								ref.residuals[i].Iteration, math.Float64bits(ref.residuals[i].Residual))
+						}
+					}
+					for i := range got.x {
+						if got.x[i] != ref.x[i] {
+							t.Fatalf("workers=%d: x[%d] = %x, workers=1 = %x", w, i, got.x[i], ref.x[i])
+						}
+					}
+				}
+			})
+		})
+	}
+}

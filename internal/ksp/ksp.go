@@ -2,9 +2,11 @@ package ksp
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/comm"
-	"repro/internal/pmat"
+	"repro/internal/par"
+	"repro/internal/sparse"
 	"repro/internal/telemetry"
 )
 
@@ -101,6 +103,25 @@ type KSP struct {
 	pcObj PC
 
 	rec *telemetry.Recorder
+
+	// pool is the intra-rank worker pool (nil = legacy serial path):
+	// the local halves of all reductions route through its fixed-slot
+	// fold, and pool-aware PCs inherit it for level-scheduled sweeps.
+	pool *par.Pool
+}
+
+// SetPool attaches an intra-rank worker pool (nil restores the serial
+// path). The pool is caller-owned; call after SetOperators/SetPC so the
+// assembled operator's distributed product and a pool-aware PC inherit
+// it before SetUp. Idempotent, safe to call every solve.
+func (k *KSP) SetPool(p *par.Pool) {
+	k.pool = p
+	if k.a != nil && k.a.pm != nil {
+		k.a.pm.SetPool(p)
+	}
+	if pa, ok := k.pc.(poolAware); ok {
+		pa.setPool(p)
+	}
 }
 
 // New creates a KSP with PETSc-like defaults: GMRES(30) with block-ILU
@@ -302,5 +323,32 @@ func (k *KSP) testConvergence(it int, rnorm, rnorm0 float64) bool {
 	return true
 }
 
-func (k *KSP) dot(x, y []float64) float64 { return pmat.Dot(k.c, x, y) }
-func (k *KSP) norm2(x []float64) float64  { return pmat.Norm2(k.c, x) }
+func (k *KSP) dot(x, y []float64) float64 {
+	return k.c.AllReduceFloat64(k.lDot(x, y), comm.OpSum)
+}
+
+func (k *KSP) norm2(x []float64) float64 {
+	local := k.lNorm2(x)
+	return math.Sqrt(k.c.AllReduceFloat64(local*local, comm.OpSum))
+}
+
+// lDot and lNorm2 are the local halves of the global reductions: with a
+// pool attached they use the fixed-slot partial fold (layout a function
+// of the vector length alone, folded in slot order — bitwise-identical
+// for every worker count), without one they are exactly sparse.Dot and
+// sparse.Norm2. Every global reduction in this package — dot, norm2,
+// and the fused* helpers — funnels through them, so the rank-order
+// fold audited in docs/PERFORMANCE.md is unchanged.
+func (k *KSP) lDot(x, y []float64) float64 {
+	if k.pool != nil {
+		return k.pool.Dot(x, y)
+	}
+	return sparse.Dot(x, y)
+}
+
+func (k *KSP) lNorm2(x []float64) float64 {
+	if k.pool != nil {
+		return k.pool.Norm2(x)
+	}
+	return sparse.Norm2(x)
+}

@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/comm"
 	"repro/internal/mesh"
+	"repro/internal/par"
 	"repro/internal/pmat"
 	"repro/internal/sparse"
 	"repro/internal/telemetry"
@@ -106,6 +107,39 @@ type Solver struct {
 	cycles  int
 	rnorm   float64
 	rec     *telemetry.Recorder
+	pool    *par.Pool
+	jac     jacobiTask
+}
+
+// SetPool attaches an intra-rank worker pool to every level's operator
+// applies (fine and transfer operators) and to the damped-Jacobi
+// smoother update. The update is element-wise, so a static partition is
+// bitwise-neutral: results are identical for any worker count.
+// Idempotent and cheap, so callers may invoke it per solve.
+func (s *Solver) SetPool(p *par.Pool) {
+	s.pool = p
+	for _, lvl := range s.levels {
+		lvl.a.SetPool(p)
+		if lvl.restrict != nil {
+			lvl.restrict.SetPool(p)
+		}
+		if lvl.prolong != nil {
+			lvl.prolong.SetPool(p)
+		}
+	}
+}
+
+// jacobiTask is one damped-Jacobi update x ← x + ω·D⁻¹(b − A·x) with the
+// residual A·x already in r; each index is written by exactly one slot.
+type jacobiTask struct {
+	x, b, r, invDiag []float64
+	omega            float64
+}
+
+func (t *jacobiTask) Range(_, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		t.x[i] += t.omega * (t.b[i] - t.r[i]) * t.invDiag[i]
+	}
 }
 
 // SetRecorder attaches a telemetry recorder: the cycling loop is timed
@@ -345,10 +379,18 @@ func (s *Solver) Solve(b, x []float64) error {
 	return fmt.Errorf("mg: no convergence in %d cycles (relative residual %.3e)", s.opts.MaxCycles, s.rnorm/bnorm)
 }
 
-// smooth performs sweeps of damped Jacobi: x ← x + ω·D⁻¹(b − A·x).
-func (lvl *level) smooth(b, x []float64, omega float64, sweeps int) {
-	for s := 0; s < sweeps; s++ {
+// smooth performs sweeps of damped Jacobi: x ← x + ω·D⁻¹(b − A·x). With
+// a parallel pool the element-wise update fans out across workers.
+func (s *Solver) smooth(lvl *level, b, x []float64, sweeps int) {
+	omega := s.opts.Omega
+	for n := 0; n < sweeps; n++ {
 		lvl.a.Apply(lvl.r, x)
+		if s.pool.Parallel() {
+			s.jac = jacobiTask{x: x, b: b, r: lvl.r, invDiag: lvl.invDiag, omega: omega}
+			s.pool.Run(len(x), &s.jac)
+			s.jac = jacobiTask{}
+			continue
+		}
 		for i := range x {
 			x[i] += omega * (b[i] - lvl.r[i]) * lvl.invDiag[i]
 		}
@@ -369,7 +411,7 @@ func (s *Solver) vcycle(k int, b, x []float64) error {
 		copy(x, xg[lvl.layout.Start:lvl.layout.Start+lvl.layout.LocalN])
 		return nil
 	}
-	lvl.smooth(b, x, s.opts.Omega, s.opts.Nu1)
+	s.smooth(lvl, b, x, s.opts.Nu1)
 
 	// Residual and restriction.
 	lvl.a.Apply(lvl.r, x)
@@ -402,6 +444,6 @@ func (s *Solver) vcycle(k int, b, x []float64) error {
 	for i := range x {
 		x[i] += lvl.z[i]
 	}
-	lvl.smooth(b, x, s.opts.Omega, s.opts.Nu2)
+	s.smooth(lvl, b, x, s.opts.Nu2)
 	return nil
 }

@@ -1,0 +1,74 @@
+package par_test
+
+import (
+	"testing"
+
+	"repro/internal/par"
+)
+
+// FuzzLevels decodes arbitrary bytes into a random dependency pattern
+// and asserts the level-set builders' invariants: Ptr is a monotone
+// cover of [0, n], Order is a permutation, rows are ascending within a
+// level, and every honored dependency lands in a strictly earlier
+// level (the property the parallel triangular solves rely on).
+func FuzzLevels(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1})
+	f.Add([]byte{8, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5, 6, 6, 7})
+	f.Add([]byte{16, 3, 1, 5, 4, 15, 0, 9, 9, 2, 7})
+	f.Add([]byte{63, 255, 254, 253, 0, 1, 2, 40, 41, 42, 42, 40})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			if lv := par.LowerLevels(0, func(int, func(int)) {}); lv.NumLevels() != 0 || len(lv.Order) != 0 {
+				t.Fatalf("empty system: ptr %v order %v", lv.Ptr, lv.Order)
+			}
+			return
+		}
+		n := 1 + int(data[0])%64
+		deps := make([][]int, n)
+		for k := 1; k+1 < len(data); k += 2 {
+			i := int(data[k]) % n
+			j := int(data[k+1]) % n
+			deps[i] = append(deps[i], j)
+		}
+		depsOf := func(i int, visit func(int)) {
+			for _, j := range deps[i] {
+				visit(j)
+			}
+		}
+		checkLevels(t, "lower", n, par.LowerLevels(n, depsOf), deps, func(i, j int) bool { return j < i })
+		checkLevels(t, "upper", n, par.UpperLevels(n, depsOf), deps, func(i, j int) bool { return j > i })
+	})
+}
+
+func checkLevels(t *testing.T, kind string, n int, lv *par.Levels, deps [][]int, honored func(i, j int) bool) {
+	t.Helper()
+	if lv.Ptr[0] != 0 || lv.Ptr[len(lv.Ptr)-1] != n || len(lv.Order) != n {
+		t.Fatalf("%s: ptr %v does not cover %d rows (order len %d)", kind, lv.Ptr, n, len(lv.Order))
+	}
+	levelOf := make([]int, n)
+	seen := make([]bool, n)
+	for l := 0; l < lv.NumLevels(); l++ {
+		if lv.Ptr[l] > lv.Ptr[l+1] {
+			t.Fatalf("%s: ptr not monotone: %v", kind, lv.Ptr)
+		}
+		rows := lv.Level(l)
+		for k, i := range rows {
+			if i < 0 || i >= n || seen[i] {
+				t.Fatalf("%s: order is not a permutation: row %d (order %v)", kind, i, lv.Order)
+			}
+			seen[i] = true
+			levelOf[i] = l
+			if k > 0 && rows[k-1] >= i {
+				t.Fatalf("%s: level %d not ascending: %v", kind, l, rows)
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		for _, j := range deps[i] {
+			if honored(i, j) && levelOf[j] >= levelOf[i] {
+				t.Fatalf("%s: dep %d of row %d scheduled at level %d >= %d", kind, j, i, levelOf[j], levelOf[i])
+			}
+		}
+	}
+}

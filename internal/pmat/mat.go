@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/comm"
+	"repro/internal/par"
 	"repro/internal/sparse"
 )
 
@@ -57,6 +58,28 @@ type Mat struct {
 
 	xext []float64 // scratch: [local x | ghosts]
 	rres []float64 // scratch for Residual
+
+	// pool is the intra-rank worker pool for the row-parallel products
+	// (nil = serial). intSpMV/bndSpMV are the persistent pooled kernels
+	// bound to interior and boundary so a pooled Apply allocates
+	// nothing; row partitioning keeps the product bitwise-identical to
+	// the serial path for any worker count.
+	pool    *par.Pool
+	intSpMV sparse.ParSpMV
+	bndSpMV sparse.ParSpMV
+}
+
+// SetPool attaches an intra-rank worker pool to the row-parallel
+// products (nil restores the serial path). The pool is caller-owned:
+// the matrix never closes it. Idempotent and cheap, so components may
+// call it every solve.
+func (m *Mat) SetPool(p *par.Pool) {
+	if m.pool == p {
+		return
+	}
+	m.pool = p
+	m.intSpMV.BindCSR(m.interior, false)
+	m.bndSpMV.BindCSR(m.boundary, true)
 }
 
 // NewMat builds a square distributed matrix from this rank's local rows
@@ -237,8 +260,14 @@ func (m *Mat) Apply(y, x []float64) {
 		l.c.SendFloat64sPooled(r, tagGhost, buf)
 	}
 
-	// Interior product while the ghost values travel.
-	m.interior.MulVec(y, x)
+	// Interior product while the ghost values travel. The pooled kernel
+	// is row-partitioned and bitwise-identical to the serial one; comm
+	// stays on this goroutine either way.
+	if m.pool.Parallel() {
+		m.intSpMV.Apply(m.pool, y, x)
+	} else {
+		m.interior.MulVec(y, x)
+	}
 
 	// Collect ghosts straight into their segment of the ghost buffer and
 	// add the boundary contribution.
@@ -253,7 +282,11 @@ func (m *Mat) Apply(y, x []float64) {
 		}
 	}
 	if m.boundary.NNZ() > 0 {
-		m.boundary.MulVecAdd(y, ghosts)
+		if m.pool.Parallel() {
+			m.bndSpMV.Apply(m.pool, y, ghosts)
+		} else {
+			m.boundary.MulVecAdd(y, ghosts)
+		}
 	}
 }
 

@@ -21,6 +21,7 @@ type entrySpec struct {
 	tenant  string
 	backend string
 	procs   int
+	workers int
 	n       int
 	params  map[string]string
 
@@ -187,6 +188,7 @@ func (e *entry) setupRank(c *comm.Comm) (s *core.Session, l *pmat.Layout, err er
 		Recorder:     e.rec,
 		SolveTimeout: e.spec.timeout,
 		Params:       e.spec.params,
+		Workers:      e.spec.workers,
 		MaxAttempts:  e.spec.maxAttempts,
 		RetryBackoff: e.spec.retryBackoff,
 		Failover:     e.spec.failover,

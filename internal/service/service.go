@@ -22,6 +22,11 @@ type Config struct {
 	// MaxProcs bounds what a request may ask for.
 	DefaultProcs int
 	MaxProcs     int
+	// DefaultWorkers is the intra-rank worker-pool size used when a
+	// request omits workers (normally 1, i.e. serial kernels);
+	// MaxWorkers bounds what a request may ask for.
+	DefaultWorkers int
+	MaxWorkers     int
 	// MaxSessions caps the pooled sessions (each owns an SPMD world);
 	// beyond it the least-recently-used idle session is evicted, and
 	// when every session is busy new operators are shed (pool_full).
@@ -72,6 +77,8 @@ func (c Config) withDefaults() Config {
 	}
 	def(&c.DefaultProcs, 1)
 	def(&c.MaxProcs, 8)
+	def(&c.DefaultWorkers, 1)
+	def(&c.MaxWorkers, 16)
 	def(&c.MaxSessions, 64)
 	def(&c.QueueDepth, 32)
 	def(&c.MaxPending, 1024)
@@ -520,6 +527,7 @@ func (s *Service) buildSpec(req *SolveRequest) (entrySpec, *Error) {
 		tenant:       req.Tenant,
 		backend:      req.Backend,
 		procs:        req.procs(s.cfg.DefaultProcs),
+		workers:      req.workers(s.cfg.DefaultWorkers),
 		params:       req.Params,
 		opID:         req.Operator.ID,
 		opVer:        req.Operator.Version,
@@ -686,6 +694,9 @@ func (s *Service) validate(req *SolveRequest) *Error {
 	if req.Procs < 0 || req.procs(s.cfg.DefaultProcs) > s.cfg.MaxProcs {
 		return errf(CodeBadRequest, 400, false, "procs %d outside [1,%d]", req.Procs, s.cfg.MaxProcs)
 	}
+	if req.Workers < 0 || req.workers(s.cfg.DefaultWorkers) > s.cfg.MaxWorkers {
+		return errf(CodeBadRequest, 400, false, "workers %d outside [1,%d]", req.Workers, s.cfg.MaxWorkers)
+	}
 	if req.Operator.ID == "" {
 		return errf(CodeBadRequest, 400, false, "operator.id is required")
 	}
@@ -730,6 +741,14 @@ func (r *SolveRequest) procs(def int) int {
 	return r.Procs
 }
 
+// workers returns the request's effective intra-rank worker count.
+func (r *SolveRequest) workers(def int) int {
+	if r.Workers <= 0 {
+		return def
+	}
+	return r.Workers
+}
+
 // key returns the session-pool key: everything that shapes the pooled
 // session's identity — tenant, backend, world size, operator version,
 // parameters, and the resilience policy. Memoized: the steady-state
@@ -739,7 +758,7 @@ func (r *SolveRequest) key() string {
 		return r.poolKey
 	}
 	var b strings.Builder
-	fmt.Fprintf(&b, "%s|%s|p%d|%s@%d", r.Tenant, r.Backend, r.Procs, r.Operator.ID, r.Operator.Version)
+	fmt.Fprintf(&b, "%s|%s|p%d|w%d|%s@%d", r.Tenant, r.Backend, r.Procs, r.Workers, r.Operator.ID, r.Operator.Version)
 	keys := make([]string, 0, len(r.Params))
 	for k := range r.Params {
 		keys = append(keys, k)

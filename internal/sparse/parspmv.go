@@ -1,0 +1,89 @@
+package sparse
+
+import "repro/internal/par"
+
+// ParSpMV is a reusable worker-pool SpMV kernel bound to one CSR or MSR
+// operand. Row-partitioned SpMV is bitwise-identical to the serial
+// MulVec for any worker count — each row's accumulation sequence is
+// unchanged, only which worker runs it varies — so callers may switch
+// freely between Apply and the serial kernels.
+//
+// Bind at Setup time and call Apply per product: the task struct is the
+// persistent par.Task, so the dispatch path performs no allocation.
+type ParSpMV struct {
+	csr *CSR
+	msr *MSR
+	add bool
+	y   []float64
+	x   []float64
+}
+
+// BindCSR points the kernel at a CSR operand. With add set, Apply
+// computes y += A·x (the ghost-column update in pmat.Apply); otherwise
+// y = A·x.
+func (t *ParSpMV) BindCSR(a *CSR, add bool) {
+	t.csr, t.msr, t.add = a, nil, add
+}
+
+// BindMSR points the kernel at an MSR operand (y = A·x).
+func (t *ParSpMV) BindMSR(a *MSR) {
+	t.csr, t.msr, t.add = nil, a, false
+}
+
+// Apply runs the bound product on p's workers (inline when p is nil or
+// serial). It matches the corresponding serial kernel's checkDims
+// panics bit for bit as well as its arithmetic.
+func (t *ParSpMV) Apply(p *par.Pool, y, x []float64) {
+	rows := 0
+	switch {
+	case t.csr != nil:
+		// Constant operands keep the dimension checks allocation-free
+		// (a runtime op+" x" concatenation would cost 2 allocs per
+		// Apply and break the steady-state invariant).
+		opX, opY := "CSR.MulVec x", "CSR.MulVec y"
+		if t.add {
+			opX, opY = "CSR.MulVecAdd x", "CSR.MulVecAdd y"
+		}
+		checkDims(opX, t.csr.Cols, len(x))
+		checkDims(opY, t.csr.Rows, len(y))
+		rows = t.csr.Rows
+	case t.msr != nil:
+		checkDims("MSR.MulVec x", t.msr.N, len(x))
+		checkDims("MSR.MulVec y", t.msr.N, len(y))
+		rows = t.msr.N
+	default:
+		panic("sparse: ParSpMV.Apply before Bind")
+	}
+	t.y, t.x = y, x
+	p.Run(rows, t)
+	t.y, t.x = nil, nil
+}
+
+// Range computes the bound product for rows [lo, hi). It is the
+// par.Task hook; each row accumulates into a local and writes its own
+// slot of y, so slots share nothing.
+func (t *ParSpMV) Range(_, lo, hi int) {
+	x, y := t.x, t.y
+	if a := t.csr; a != nil {
+		for i := lo; i < hi; i++ {
+			s := 0.0
+			for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+				s += a.Vals[k] * x[a.ColInd[k]]
+			}
+			if t.add {
+				y[i] += s
+			} else {
+				y[i] = s
+			}
+		}
+		return
+	}
+	a := t.msr
+	for i := lo; i < hi; i++ {
+		s := a.Val[i] * x[i]
+		for k := a.Ind[i]; k < a.Ind[i+1]; k++ {
+			s += a.Val[k] * x[a.Ind[k]]
+		}
+		y[i] = s
+	}
+}
