@@ -33,6 +33,7 @@ import (
 	"repro/internal/comm"
 	"repro/internal/fault"
 	"repro/internal/mesh"
+	"repro/internal/sparse"
 	"repro/internal/telemetry"
 )
 
@@ -52,6 +53,7 @@ func main() {
 	stat := flag.String("stat", "median", "aggregate repeated runs with \"median\" (robust) or \"mean\" (as the paper)")
 	timeout := flag.Duration("timeout", 0, "overall campaign deadline (0 = none); expiry exits with status 124")
 	workers := flag.Int("workers", 1, "intra-rank worker-pool size for the CCA measurements (results are bitwise-identical for any count)")
+	format := flag.String("format", "", "local SpMV storage format for the CCA measurements: auto, csr, msr, sell, or bcsr (empty = csr)")
 	telemetryOut := flag.String("telemetry", "", "write instrumented per-phase solve reports to this JSON file")
 	faultSpec := flag.String("fault-spec", "",
 		"arm this deterministic fault-injection schedule on every measurement world "+
@@ -98,6 +100,13 @@ func main() {
 		// parameter (the CCA side sets it per backend, the native side has
 		// no intra-rank pool — another port-vocabulary difference).
 		params["workers"] = strconv.Itoa(*workers)
+	}
+	if *format != "" {
+		if _, err := sparse.ParseFormatChoice(*format); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		params["format"] = *format
 	}
 
 	// SIGINT and -timeout both cancel the campaign context; the harness

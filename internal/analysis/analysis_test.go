@@ -161,7 +161,8 @@ func TestCtxCommFixture(t *testing.T) {
 
 func TestHotAllocFixture(t *testing.T) {
 	runFixture(t, "hotalloc", analysis.Options{},
-		fixtureRoot+"/hotalloc/ksp", fixtureRoot+"/hotalloc/outofscope")
+		fixtureRoot+"/hotalloc/ksp", fixtureRoot+"/hotalloc/sparse",
+		fixtureRoot+"/hotalloc/outofscope")
 }
 
 func TestBufOwnFixture(t *testing.T) {
@@ -171,7 +172,8 @@ func TestBufOwnFixture(t *testing.T) {
 
 func TestSpmdDetFixture(t *testing.T) {
 	runFixture(t, "spmddet", analysis.Options{},
-		fixtureRoot+"/spmddet", fixtureRoot+"/spmddet/ksp")
+		fixtureRoot+"/spmddet", fixtureRoot+"/spmddet/ksp",
+		fixtureRoot+"/spmddet/sparse")
 }
 
 // TestCollectiveSymInterprocFixture exercises the interprocedural cases:

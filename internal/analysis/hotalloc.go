@@ -26,6 +26,22 @@ import (
 //   - every self-append `x = append(x, ...)` (growth); the reuse idiom
 //     `x = append(x[:0], ...)` keeps capacity and is not reported.
 //
+// The sparse kernel substrate gets two rules of its own:
+//
+//   - Per-product kernel methods — MulVec, MulVecAdd, Apply, and
+//     par.Task-shaped Range(slot, lo, hi) methods — are the bodies the
+//     steady-state 0-alloc contract runs through on every product, so
+//     any make() or self-append growth anywhere in them (not just in a
+//     loop) is reported. Scratch must be bound once at conversion or
+//     Bind time (the SELL/BCSR `acc` fields and ParSpMV slot scratch).
+//
+//   - Converter loops — loops inside the CSR→X converters (functions
+//     named *FromCSR) — must not make() per iteration: converters run
+//     at Setup against production-sized operators, so a per-row or
+//     per-entry allocation turns an O(nnz) pass into allocator churn.
+//     The supported shape is the two-pass count-then-fill layout with
+//     every array sized up front.
+//
 // Setup loops that only build workspaces (no hot call in the body) are
 // out of scope, as are the non-backend packages. The rare legitimate
 // per-iteration allocation is suppressed per site with
@@ -33,7 +49,9 @@ import (
 var HotAlloc = &Analyzer{
 	Name: "hotalloc",
 	Doc: "flags make() and self-append growth inside solver iteration loops (loops applying the operator, " +
-		"reducing, or joining collectives) in the ksp/aztec/mg backends; hot loops must reuse workspaces",
+		"reducing, or joining collectives) in the ksp/aztec/mg backends, inside per-product kernel methods " +
+		"(MulVec/MulVecAdd/Apply/Range) in sparse, and make() inside sparse *FromCSR converter loops; " +
+		"hot paths must reuse workspaces",
 	Run: runHotAlloc,
 }
 
@@ -41,6 +59,13 @@ var HotAlloc = &Analyzer{
 // backend packages whose iteration loops the check applies to.
 var hotAllocPackages = map[string]bool{
 	"ksp": true, "aztec": true, "mg": true,
+}
+
+// hotKernelMethods are the per-product kernel entry points in the
+// sparse package: each runs once per SpMV (Range once per worker per
+// product), so its whole body is a hot context.
+var hotKernelMethods = map[string]bool{
+	"MulVec": true, "MulVecAdd": true, "Apply": true, "Range": true,
 }
 
 // hotCallNames are the lower-cased callee names that mark a loop as a
@@ -56,6 +81,10 @@ func runHotAlloc(pass *Pass) {
 	if i := strings.LastIndex(seg, "/"); i >= 0 {
 		seg = seg[i+1:]
 	}
+	if seg == "sparse" {
+		runHotAllocSparse(pass)
+		return
+	}
 	if !hotAllocPackages[seg] {
 		return
 	}
@@ -64,6 +93,104 @@ func runHotAlloc(pass *Pass) {
 			hotAllocLoops(pass, body)
 		})
 	}
+}
+
+// runHotAllocSparse applies the kernel-substrate rules: per-product
+// kernel method bodies are hot contexts outright, and *FromCSR
+// converter loops must not make() per iteration.
+func runHotAllocSparse(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			switch {
+			case fd.Recv != nil && hotKernelMethods[fd.Name.Name]:
+				// Range only counts in the par.Task shape; an unrelated
+				// Range method (an iterator, say) is not a kernel.
+				if fd.Name.Name == "Range" && !intTriple(pass.Pkg.Info, fd.Type.Params) {
+					continue
+				}
+				reportKernelAllocs(pass, fd.Body, fd.Name.Name)
+			case strings.HasSuffix(fd.Name.Name, "FromCSR"):
+				reportConverterLoopMakes(pass, fd.Body, fd.Name.Name)
+			}
+		}
+	}
+}
+
+// reportKernelAllocs reports every make() and self-append growth in
+// the body of one per-product kernel method: the whole body runs once
+// per SpMV (Range once per worker per product), so any allocation in
+// it breaks the steady-state 0-alloc contract.
+func reportKernelAllocs(pass *Pass, body *ast.BlockStmt, method string) {
+	info := pass.Pkg.Info
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		switch s := n.(type) {
+		case *ast.CallExpr:
+			if isBuiltinCall(info, s, "make") {
+				pass.Report(s.Pos(),
+					"make() inside per-product kernel "+method+" allocates on every product",
+					"bind the scratch once at conversion or Bind time (like the SELL/BCSR acc fields), or suppress with //lisi:ignore hotalloc <reason>")
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range s.Rhs {
+				if i >= len(s.Lhs) {
+					break
+				}
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok || !isBuiltinCall(info, call, "append") || len(call.Args) == 0 {
+					continue
+				}
+				dst := exprString(s.Lhs[i])
+				if dst != exprString(call.Args[0]) {
+					continue
+				}
+				pass.Report(call.Pos(),
+					"append growth of "+dst+" inside per-product kernel "+method+" reallocates on every product",
+					"preallocate "+dst+" at conversion or Bind time (append to "+dst+"[:0] to reuse it), or suppress with //lisi:ignore hotalloc <reason>")
+			}
+		}
+		return true
+	})
+}
+
+// reportConverterLoopMakes reports every make() inside a loop of one
+// converter body. Makes outside loops are the supported
+// count-then-fill sizing and stay silent; appends are judged by the
+// general growth rule only in kernel bodies (converters may
+// legitimately append into preallocated capacity).
+func reportConverterLoopMakes(pass *Pass, body *ast.BlockStmt, fn string) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		var loopBody *ast.BlockStmt
+		switch s := n.(type) {
+		case *ast.ForStmt:
+			loopBody = s.Body
+		case *ast.RangeStmt:
+			loopBody = s.Body
+		default:
+			return true
+		}
+		ast.Inspect(loopBody, func(m ast.Node) bool {
+			if _, ok := m.(*ast.FuncLit); ok {
+				return false
+			}
+			if call, ok := m.(*ast.CallExpr); ok && isBuiltinCall(pass.Pkg.Info, call, "make") {
+				pass.Report(call.Pos(),
+					"make() inside a loop of converter "+fn+" allocates per iteration against a production-sized operator",
+					"size every output array up front (two-pass count-then-fill) and reuse scratch across iterations, or suppress with //lisi:ignore hotalloc <reason>")
+			}
+			return true
+		})
+		return false // loopBody fully scanned, including nested loops
+	})
 }
 
 // hotAllocLoops finds the outermost hot loops in one function body and

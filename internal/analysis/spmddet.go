@@ -45,6 +45,16 @@ import (
 //     or a row it owns, and the caller folds the slots in slot order
 //     after Run returns; method-local accumulators are likewise fine.
 //
+//  5. Map-ordered storage layout in the sparse substrate: in package
+//     sparse, appending float values to a slice declared outside a
+//     `for … range m` over a map lays coefficients out in a
+//     process-random order. The stored order of a sparse format IS the
+//     kernels' floating-point fold order, so two runs (or two ranks)
+//     of the same conversion would produce bitwise-different products.
+//     Collecting the *keys* for a later sort is the supported repair
+//     and stays silent (int appends are re-orderable; the committed
+//     float layout is not), as does filling dense index scratch.
+//
 // Additionally, in the Krylov backend packages (ksp, aztec) every
 // AllReduceFloat64sInPlace call must live in a `fused*` workspace
 // helper: those helpers are the audited fused-reduction inventory whose
@@ -55,8 +65,8 @@ var SpmdDet = &Analyzer{
 	Name: "spmddet",
 	Doc: "flags SPMD determinism hazards: comm calls or floating-point folds ordered by map iteration, " +
 		"goroutine-shared float accumulation without a fixed fold order, pool-task Range methods that " +
-		"fold into shared floats instead of per-worker slots, and in-place reductions in " +
-		"ksp/aztec outside the audited fused* helper inventory",
+		"fold into shared floats instead of per-worker slots, map-ordered storage-layout appends in the " +
+		"sparse converters, and in-place reductions in ksp/aztec outside the audited fused* helper inventory",
 	Run: runSpmdDet,
 }
 
@@ -66,6 +76,7 @@ func runSpmdDet(pass *Pass) {
 		seg = seg[i+1:]
 	}
 	fusedInventory := seg == "ksp" || seg == "aztec"
+	layoutScope := seg == "sparse"
 	for _, f := range pass.Pkg.Files {
 		for _, d := range f.Decls {
 			if fd, ok := d.(*ast.FuncDecl); ok {
@@ -75,11 +86,81 @@ func runSpmdDet(pass *Pass) {
 		funcsOf(f, func(name string, body *ast.BlockStmt) {
 			spmdMapRanges(pass, body)
 			spmdGoroutineAccum(pass, body)
+			if layoutScope {
+				spmdMapLayoutAppends(pass, body)
+			}
 			if fusedInventory {
 				spmdFusedInventory(pass, name, body)
 			}
 		})
 	}
+}
+
+// spmdMapLayoutAppends implements check 5 for one sparse-package
+// function body: a self-append of float values into a slice declared
+// outside a map range commits storage layout in map iteration order.
+func spmdMapLayoutAppends(pass *Pass, body *ast.BlockStmt) {
+	info := pass.Pkg.Info
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := info.Types[rng.X]
+		if !ok || tv.Type == nil {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		ast.Inspect(rng.Body, func(m ast.Node) bool {
+			s, ok := m.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for i, rhs := range s.Rhs {
+				if i >= len(s.Lhs) {
+					break
+				}
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok || !isBuiltinCall(info, call, "append") || len(call.Args) == 0 {
+					continue
+				}
+				dst := exprString(s.Lhs[i])
+				if dst != exprString(call.Args[0]) || !isFloatSlice(info, call.Args[0]) {
+					continue
+				}
+				root := rootIdent(s.Lhs[i])
+				if root == nil || !declaredOutside(info, root, rng.Pos(), rng.End()) {
+					continue
+				}
+				pass.Report(call.Pos(),
+					"append of float values to "+dst+" in map iteration order commits a sparse storage layout that is randomized per process; "+
+						"the stored order is the kernels' floating-point fold order, so products stop being bitwise-reproducible",
+					"index through dense scratch (count-then-fill), or collect only the keys here, sort them, and append the values in sorted key order, or suppress with //lisi:ignore spmddet <reason>")
+			}
+			return true
+		})
+		return true
+	})
+}
+
+// isFloatSlice reports whether e's type is a slice of floating-point
+// elements.
+func isFloatSlice(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	sl, ok := tv.Type.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
 }
 
 // spmdRangeTaskAccum implements check 4 for one declaration: a method

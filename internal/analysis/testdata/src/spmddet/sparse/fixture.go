@@ -1,0 +1,107 @@
+// Fixture for the spmddet analyzer's sparse-substrate check: in
+// package sparse, appending float values to an outer slice inside a
+// map range commits a storage layout in process-random map order — and
+// the stored order is the kernels' floating-point fold order, so
+// products stop being bitwise-reproducible.
+package sparse
+
+import "sort"
+
+// mapOrderedLayout is the canonical finding: the values slice is laid
+// out in map iteration order, so two conversions of the same operator
+// store (and later fold) the coefficients in different orders.
+func mapOrderedLayout(row map[int]float64) []float64 {
+	var vals []float64
+	for _, v := range row {
+		vals = append(vals, v) // want "append of float values to vals in map iteration order"
+	}
+	return vals
+}
+
+// fieldLayout: the destination being a struct field changes nothing —
+// the committed layout is still map-ordered.
+type builder struct{ vals []float64 }
+
+func (b *builder) add(row map[int]float64) {
+	for _, v := range row {
+		b.vals = append(b.vals, v) // want "append of float values to b.vals in map iteration order"
+	}
+}
+
+// collectSortFill is the supported repair and must stay silent: only
+// the int keys are collected in map order, the sort fixes the order,
+// and the float layout is committed deterministically afterwards.
+func collectSortFill(row map[int]float64) []float64 {
+	keys := make([]int, 0, len(row))
+	for j := range row {
+		keys = append(keys, j)
+	}
+	sort.Ints(keys)
+	vals := make([]float64, 0, len(keys))
+	for _, j := range keys {
+		vals = append(vals, row[j])
+	}
+	return vals
+}
+
+// denseScratch is the other supported shape: indexed writes through
+// dense scratch are order-independent, no layout is committed by the
+// map order.
+func denseScratch(n int, row map[int]float64) []float64 {
+	dense := make([]float64, n)
+	for j, v := range row {
+		dense[j] = v
+	}
+	return dense
+}
+
+// nestedRanges: nesting does not hide the hazard — tmp outlives the
+// inner map range, so its layout is still committed in map order.
+func nestedRanges(rows map[int]map[int]float64) int {
+	total := 0
+	for _, row := range rows {
+		var tmp []float64
+		for _, v := range row {
+			tmp = append(tmp, v) // want "append of float values to tmp in map iteration order"
+		}
+		total += len(tmp)
+	}
+	return total
+}
+
+// perIterationScratch: a slice declared inside the range body dies
+// with the iteration — no cross-iteration layout exists to corrupt.
+func perIterationScratch(row map[int]float64) float64 {
+	worst := 0.0
+	for j, v := range row {
+		pair := []float64{v}
+		pair = append(pair, float64(j))
+		if d := pair[0] - pair[1]; d > worst {
+			worst = d // order-independent max, not a fold
+		}
+	}
+	return worst
+}
+
+// sliceRangeIsFine: ranging over a slice is deterministic; appends
+// keep the source order.
+func sliceRangeIsFine(src []float64) []float64 {
+	var out []float64
+	for _, v := range src {
+		out = append(out, v)
+	}
+	return out
+}
+
+// suppressed shows the per-site escape hatch.
+func suppressed(row map[int]float64) float64 {
+	var sink []float64
+	for _, v := range row {
+		//lisi:ignore spmddet fixture: exercising the suppression path
+		sink = append(sink, v)
+	}
+	if len(sink) == 0 {
+		return 0
+	}
+	return sink[0]
+}

@@ -443,6 +443,42 @@ func validWorkers(value string) bool {
 	return err == nil && v >= 1
 }
 
+// validFormat reports whether value is an acceptable "format"
+// parameter (auto, csr, msr, sell, bcsr).
+func validFormat(value string) bool {
+	_, err := sparse.ParseFormatChoice(value)
+	return err == nil
+}
+
+// formatChoice returns the SpMV format selection from the "format"
+// parameter; absent (or anything unparseable, which Set rejects
+// anyway) means the legacy CSR path.
+func (b *baseAdapter) formatChoice() sparse.FormatChoice {
+	v, ok := b.params["format"]
+	if !ok {
+		return sparse.ChoiceCSR
+	}
+	fc, err := sparse.ParseFormatChoice(v)
+	if err != nil {
+		return sparse.ChoiceCSR
+	}
+	return fc
+}
+
+// recordFormat feeds a format (re)binding into telemetry: the bound
+// interior format as the sparse.format label and the autotuning probe's
+// cost as sparse.probe_ns. It only fires when a rebind actually
+// happened, so the steady-state Solve path stays allocation-free.
+func (b *baseAdapter) recordFormat(info pmat.FormatInfo, changed bool) {
+	if !changed {
+		return
+	}
+	b.rec.SetLabel("sparse.format", info.Interior.String())
+	if info.ProbeNS > 0 {
+		b.rec.Add("sparse.probe_ns", info.ProbeNS)
+	}
+}
+
 // workerPool returns the intra-rank pool matching the "workers"
 // parameter, building (and labeling) it on first use or when the count
 // changed, and returning nil when the parameter is absent. Pool

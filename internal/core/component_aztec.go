@@ -121,6 +121,10 @@ func (ac *AztecComponent) Set(key, value string) int {
 		if !validWorkers(value) {
 			return ErrBadArg
 		}
+	case "format":
+		if !validFormat(value) {
+			return ErrBadArg
+		}
 	default:
 		return ErrUnknownKey
 	}
@@ -254,6 +258,7 @@ func (ac *AztecComponent) Solve(solution []float64, status []float64, numLocalRo
 	}
 	s.SetRecorder(ac.rec)
 	s.SetPool(ac.workerPool())
+	ac.recordFormat(s.SetFormat(ac.formatChoice()))
 
 	totalIts := 0
 	lastNorm := 0.0

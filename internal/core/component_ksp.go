@@ -95,6 +95,10 @@ func (kc *KSPComponent) Set(key, value string) int {
 		if !validWorkers(value) {
 			return ErrBadArg
 		}
+	case "format":
+		if !validFormat(value) {
+			return ErrBadArg
+		}
 	default:
 		return ErrUnknownKey
 	}
@@ -243,6 +247,7 @@ func (kc *KSPComponent) Solve(solution []float64, status []float64, numLocalRow,
 	k.SetOperators(kc.op)
 	k.SetRecorder(kc.rec)
 	k.SetPool(kc.workerPool())
+	kc.recordFormat(k.SetFormat(kc.formatChoice()))
 
 	totalIts := 0
 	lastNorm := 0.0

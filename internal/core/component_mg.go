@@ -82,6 +82,10 @@ func (mc *MGComponent) Set(key, value string) int {
 		if !validWorkers(value) {
 			return ErrBadArg
 		}
+	case "format":
+		if !validFormat(value) {
+			return ErrBadArg
+		}
 	default:
 		return ErrUnknownKey
 	}
@@ -234,6 +238,7 @@ func (mc *MGComponent) Solve(solution []float64, status []float64, numLocalRow, 
 	}
 	mc.solver.SetRecorder(mc.rec)
 	mc.solver.SetPool(mc.workerPool())
+	mc.recordFormat(mc.solver.SetFormat(mc.formatChoice()))
 
 	totalCycles := 0
 	lastNorm := 0.0

@@ -67,6 +67,12 @@ func (sc *SLUComponent) Set(key, value string) int {
 		if !validWorkers(value) {
 			return ErrBadArg
 		}
+	case key == "format":
+		// Accepted for seamless component swapping; the direct solver
+		// factors at setup, so no SpMV kernel survives to re-format.
+		if !validFormat(value) {
+			return ErrBadArg
+		}
 	case ignoredIterativeKeys[key]:
 		// Tolerated for seamless component swapping; recorded below.
 	default:
@@ -159,6 +165,7 @@ func (sc *SLUComponent) Solve(solution []float64, status []float64, numLocalRow,
 	}
 	sc.dist.SetRecorder(sc.rec)
 	sc.dist.SetPool(sc.workerPool())
+	sc.recordFormat(sc.dist.SetFormat(sc.formatChoice()))
 
 	refineSteps := 0
 	if v, ok := sc.params["refine_steps"]; ok {

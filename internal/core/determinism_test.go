@@ -23,6 +23,13 @@ type solveTrace struct {
 // requested worker count and returns its trace.
 func solveWithWorkers(t *testing.T, c *comm.Comm, backend string, gridN int, symmetric bool, params map[string]string, workers int) solveTrace {
 	t.Helper()
+	return solveConfigured(t, c, backend, gridN, symmetric, params, workers, "")
+}
+
+// solveConfigured runs one session solve with the requested worker
+// count and SpMV format selection and returns its trace.
+func solveConfigured(t *testing.T, c *comm.Comm, backend string, gridN int, symmetric bool, params map[string]string, workers int, format string) solveTrace {
+	t.Helper()
 	p := mesh.PaperProblem(gridN)
 	a, rhs, err := p.GenerateGlobal()
 	if err != nil {
@@ -43,6 +50,7 @@ func solveWithWorkers(t *testing.T, c *comm.Comm, backend string, gridN int, sym
 	s, err := OpenSession(backend, c, SessionOptions{
 		Params:   params,
 		Workers:  workers,
+		Format:   format,
 		Recorder: rec,
 	})
 	if err != nil {
@@ -114,6 +122,61 @@ func TestSolveBitwiseDeterministicAcrossWorkers(t *testing.T) {
 					for i := range got.x {
 						if got.x[i] != ref.x[i] {
 							t.Fatalf("workers=%d: x[%d] = %x, workers=1 = %x", w, i, got.x[i], ref.x[i])
+						}
+					}
+				}
+			})
+		})
+	}
+}
+
+// TestSolveBitwiseDeterministicAcrossFormats extends the contract to
+// the SpMV format knob: for every backend config, Session.Solve must
+// produce byte-identical residual histories and solution vectors for
+// every format ∈ {csr, auto, msr, sell, bcsr} crossed with serial and
+// pooled execution. This is what lets the autotuner bind whatever wins
+// the probe — per rank, per matrix — without any reproducibility cost.
+func TestSolveBitwiseDeterministicAcrossFormats(t *testing.T) {
+	for _, tc := range []struct {
+		name      string
+		backend   string
+		gridN     int
+		symmetric bool
+		params    map[string]string
+	}{
+		{"superlu", "superlu", 12, false, map[string]string{"refine_steps": "1"}},
+		{"petsc-cg", "petsc", 12, true, map[string]string{
+			"solver": "cg", "preconditioner": "jacobi", "tol": "1e-8", "maxits": "400"}},
+		{"petsc-gmres", "petsc", 12, false, map[string]string{
+			"solver": "gmres", "preconditioner": "bjacobi", "tol": "1e-8", "maxits": "400", "restart": "30"}},
+		{"trilinos-bicgstab", "trilinos", 12, false, map[string]string{
+			"solver": "bicgstab", "preconditioner": "ilut", "tol": "1e-8"}},
+		{"mg", "mg", 15, false, map[string]string{"grid_n": "15", "tol": "1e-8"}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			run(t, 1, func(c *comm.Comm) {
+				ref := solveConfigured(t, c, tc.backend, tc.gridN, tc.symmetric, tc.params, 1, "csr")
+				for _, format := range []string{"auto", "msr", "sell", "bcsr"} {
+					for _, w := range []int{1, 4} {
+						got := solveConfigured(t, c, tc.backend, tc.gridN, tc.symmetric, tc.params, w, format)
+						if len(got.residuals) != len(ref.residuals) {
+							t.Fatalf("format=%s workers=%d: residual history has %d points, reference has %d",
+								format, w, len(got.residuals), len(ref.residuals))
+						}
+						for i := range got.residuals {
+							if math.Float64bits(got.residuals[i].Residual) != math.Float64bits(ref.residuals[i].Residual) ||
+								got.residuals[i].Iteration != ref.residuals[i].Iteration {
+								t.Fatalf("format=%s workers=%d: residual[%d] = (%d, %x), reference = (%d, %x)",
+									format, w, i,
+									got.residuals[i].Iteration, math.Float64bits(got.residuals[i].Residual),
+									ref.residuals[i].Iteration, math.Float64bits(ref.residuals[i].Residual))
+							}
+						}
+						for i := range got.x {
+							if got.x[i] != ref.x[i] {
+								t.Fatalf("format=%s workers=%d: x[%d] = %x, reference = %x",
+									format, w, i, got.x[i], ref.x[i])
+							}
 						}
 					}
 				}

@@ -129,6 +129,37 @@ func (s *Solver) SetPool(p *par.Pool) {
 	}
 }
 
+// SetFormat selects the local SpMV storage format for every level's
+// operator and transfer products. Each matrix decides (and, for auto,
+// probes) independently — coarse levels and the rectangular transfer
+// operators typically fall back to CSR via the probe's small-matrix
+// heuristic. The returned info is the fine-level operator's binding
+// with the probe cost summed over all levels; the bool reports whether
+// any matrix (re)bound.
+func (s *Solver) SetFormat(fc sparse.FormatChoice) (pmat.FormatInfo, bool) {
+	var fine pmat.FormatInfo
+	var probeNS int64
+	probed, changed := false, false
+	for li, lvl := range s.levels {
+		mats := []*pmat.Mat{lvl.a, lvl.restrict, lvl.prolong}
+		for mi, m := range mats {
+			if m == nil {
+				continue
+			}
+			info, ch := m.SetFormat(fc)
+			changed = changed || ch
+			probeNS += info.ProbeNS
+			probed = probed || info.Probed
+			if li == 0 && mi == 0 {
+				fine = info
+			}
+		}
+	}
+	fine.ProbeNS = probeNS
+	fine.Probed = probed
+	return fine, changed
+}
+
 // jacobiTask is one damped-Jacobi update x ← x + ω·D⁻¹(b − A·x) with the
 // residual A·x already in r; each index is written by exactly one slot.
 type jacobiTask struct {

@@ -1,0 +1,168 @@
+package pmat
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/par"
+	"repro/internal/sparse"
+)
+
+// formatChoices are the selections SetFormat must handle; ChoiceVBR is
+// reachable only through the auto probe but must still bind correctly
+// when asked for directly.
+var formatChoices = []sparse.FormatChoice{
+	sparse.ChoiceCSR,
+	sparse.ChoiceAuto,
+	sparse.ChoiceMSR,
+	sparse.ChoiceSELL,
+	sparse.ChoiceBCSR,
+	sparse.ChoiceVBR,
+}
+
+// TestSetFormatBitwiseAcrossFormats checks the load-bearing contract of
+// the autotuner: for a fixed distribution, the distributed product is
+// byte-identical no matter which format is bound and how many workers
+// partition it.
+func TestSetFormatBitwiseAcrossFormats(t *testing.T) {
+	global := sparse.Laplace2D(9, 7) // n = 63
+	x := sparse.RandomVector(63, 11)
+	for _, p := range []int{1, 3} {
+		// Reference: same distribution, legacy CSR kernels, serial.
+		want := make([]float64, 63)
+		run(t, p, func(c *comm.Comm) {
+			l, m := distribute(c, global)
+			xl := Scatter(l, 0, mapRoot(c, x))
+			yl := make([]float64, l.LocalN)
+			m.Apply(yl, xl)
+			got := AllGather(l, yl)
+			if c.Rank() == 0 {
+				copy(want, got)
+			}
+		})
+		for _, fc := range formatChoices {
+			for _, workers := range []int{1, 2, 4} {
+				run(t, p, func(c *comm.Comm) {
+					l, m := distribute(c, global)
+					pool := par.New(workers)
+					defer pool.Close()
+					m.SetPool(pool)
+					info, changed := m.SetFormat(fc)
+					if fc != sparse.ChoiceCSR && !changed {
+						t.Fatalf("SetFormat(%v) reported no rebind on first call", fc)
+					}
+					if fc == sparse.ChoiceCSR && info.Interior != sparse.FmtCSR {
+						t.Fatalf("ChoiceCSR bound %v", info.Interior)
+					}
+					xl := Scatter(l, 0, mapRoot(c, x))
+					yl := make([]float64, l.LocalN)
+					m.Apply(yl, xl)
+					got := AllGather(l, yl)
+					for i := range want {
+						if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+							t.Fatalf("p=%d fc=%v w=%d: y[%d] = %v (%x), want %v (%x)",
+								p, fc, workers, i, got[i],
+								math.Float64bits(got[i]), want[i], math.Float64bits(want[i]))
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestSetFormatFallbacks pins the structure-gated bindings: a forced MSR
+// falls back to CSR on the (rectangular or empty) boundary block while
+// landing on the square interior, and a forced VBR falls back to CSR
+// when no uniform block structure exists.
+func TestSetFormatFallbacks(t *testing.T) {
+	run(t, 2, func(c *comm.Comm) {
+		_, m := distribute(c, sparse.Laplace2D(6, 6))
+		info, _ := m.SetFormat(sparse.ChoiceMSR)
+		if info.Interior != sparse.FmtMSR {
+			t.Fatalf("interior bound %v, want MSR", info.Interior)
+		}
+		if info.Boundary != sparse.FmtCSR {
+			t.Fatalf("boundary bound %v, want CSR fallback", info.Boundary)
+		}
+		if info.Probed || info.ProbeNS != 0 {
+			t.Fatalf("forced choice reported probing: %+v", info)
+		}
+		info, _ = m.SetFormat(sparse.ChoiceVBR)
+		if info.Interior != sparse.FmtCSR {
+			t.Fatalf("VBR on a stencil bound %v, want CSR fallback", info.Interior)
+		}
+		info, _ = m.SetFormat(sparse.ChoiceSELL)
+		if info.Interior != sparse.FmtSELL || info.Boundary != sparse.FmtSELL {
+			t.Fatalf("SELL binding: %+v", info)
+		}
+		c.Barrier()
+	})
+}
+
+// TestSetFormatCaching checks the (choice, pool) cache: repeated
+// SetPool/SetFormat with unchanged inputs is an allocation-free no-op,
+// and changing either input triggers exactly one rebind.
+func TestSetFormatCaching(t *testing.T) {
+	run(t, 1, func(c *comm.Comm) {
+		_, m := distribute(c, sparse.Laplace2D(8, 8))
+		pool := par.New(3)
+		defer pool.Close()
+		m.SetPool(pool)
+		if _, changed := m.SetFormat(sparse.ChoiceSELL); !changed {
+			t.Fatal("first SetFormat did not bind")
+		}
+		if _, changed := m.SetFormat(sparse.ChoiceSELL); changed {
+			t.Fatal("repeated SetFormat rebound")
+		}
+		allocs := testing.AllocsPerRun(20, func() {
+			m.SetPool(pool)
+			if _, changed := m.SetFormat(sparse.ChoiceSELL); changed {
+				t.Fatal("steady-state SetFormat rebound")
+			}
+		})
+		if allocs != 0 {
+			t.Fatalf("steady-state SetPool+SetFormat allocates %v/op", allocs)
+		}
+		// A pool change must re-bind (chunk tuning and scratch depend on
+		// the worker count).
+		m.SetPool(nil)
+		if m.Format().Interior != sparse.FmtSELL {
+			t.Fatalf("pool change lost the format: %+v", m.Format())
+		}
+		if _, changed := m.SetFormat(sparse.ChoiceSELL); changed {
+			t.Fatal("SetFormat rebound after SetPool already rebound")
+		}
+	})
+}
+
+// TestSetFormatAutoProbes checks that format=auto on a probe-sized
+// operator actually times candidates and binds a winner that is still
+// bitwise-exact.
+func TestSetFormatAutoProbes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("probe timing loop")
+	}
+	global := sparse.Laplace2D(70, 70) // nnz ≈ 24k > probe threshold
+	n := global.Rows
+	x := sparse.RandomVector(n, 5)
+	want := make([]float64, n)
+	global.MulVec(want, x)
+	run(t, 1, func(c *comm.Comm) {
+		l, m := distribute(c, global)
+		info, _ := m.SetFormat(sparse.ChoiceAuto)
+		if !info.Probed || info.ProbeNS <= 0 {
+			t.Fatalf("auto on a large operator did not probe: %+v", info)
+		}
+		xl := Scatter(l, 0, mapRoot(c, x))
+		yl := make([]float64, l.LocalN)
+		m.Apply(yl, xl)
+		got := AllGather(l, yl)
+		for i := range want {
+			if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+				t.Fatalf("auto: y[%d] = %v, want %v", i, got[i], want[i])
+			}
+		}
+	})
+}

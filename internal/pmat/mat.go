@@ -60,26 +60,123 @@ type Mat struct {
 	rres []float64 // scratch for Residual
 
 	// pool is the intra-rank worker pool for the row-parallel products
-	// (nil = serial). intSpMV/bndSpMV are the persistent pooled kernels
-	// bound to interior and boundary so a pooled Apply allocates
-	// nothing; row partitioning keeps the product bitwise-identical to
-	// the serial path for any worker count.
+	// (nil = serial). intSpMV/bndSpMV are the persistent kernels bound
+	// to interior and boundary — in whatever storage format the
+	// "format" selection below picked — so Apply allocates nothing;
+	// unit partitioning keeps every product bitwise-identical to the
+	// serial CSR path for any format and worker count.
 	pool    *par.Pool
 	intSpMV sparse.ParSpMV
 	bndSpMV sparse.ParSpMV
+
+	// format is the requested SpMV storage selection (zero value =
+	// legacy CSR); fmtBound records whether the kernels are currently
+	// bound for (format, pool), the cache key that keeps steady-state
+	// SetPool/SetFormat calls allocation-free no-ops. fmtInfo is the
+	// decision report for telemetry.
+	format   sparse.FormatChoice
+	fmtBound bool
+	fmtInfo  FormatInfo
+}
+
+// FormatInfo reports which kernels a format selection bound and what
+// the autotuning probe cost, for the sparse.format / sparse.probe_ns
+// telemetry.
+type FormatInfo struct {
+	Interior sparse.Format // format bound to the interior (owned-column) block
+	Boundary sparse.Format // format bound to the ghost-column block
+	ProbeNS  int64         // wall time the probe spent (0 unless format=auto)
+	Probed   bool          // true when at least one block was probed by timing
 }
 
 // SetPool attaches an intra-rank worker pool to the row-parallel
 // products (nil restores the serial path). The pool is caller-owned:
 // the matrix never closes it. Idempotent and cheap, so components may
-// call it every solve.
+// call it every solve. A pool change re-binds the format kernels: the
+// SELL chunk height and per-slot scratch are tuned to the worker
+// count.
 func (m *Mat) SetPool(p *par.Pool) {
 	if m.pool == p {
+		if !m.fmtBound {
+			m.rebind()
+		}
 		return
 	}
 	m.pool = p
-	m.intSpMV.BindCSR(m.interior, false)
-	m.bndSpMV.BindCSR(m.boundary, true)
+	m.rebind()
+}
+
+// SetFormat selects the local SpMV storage format (local-only, no
+// collectives): sparse.ChoiceCSR keeps the legacy CSR kernels,
+// ChoiceAuto runs the sparse.ProbeFormats autotuner on the actual
+// interior and boundary blocks and binds each winner, and a forced
+// choice binds that kernel where the block's structure admits it (CSR
+// otherwise — e.g. MSR on a rectangular block). The binding is cached
+// on (choice, pool), so steady-state calls are allocation-free no-ops;
+// the returned bool reports whether a (re)bind happened. Every
+// bindable kernel is bitwise-identical to serial CSR, so ranks may
+// probe to different winners without any cross-rank agreement.
+func (m *Mat) SetFormat(fc sparse.FormatChoice) (FormatInfo, bool) {
+	if m.fmtBound && fc == m.format {
+		return m.fmtInfo, false
+	}
+	m.format = fc
+	m.rebind()
+	return m.fmtInfo, true
+}
+
+// Format returns the current selection's binding report.
+func (m *Mat) Format() FormatInfo { return m.fmtInfo }
+
+// rebind (re)binds the interior/boundary kernels for the current
+// (format, pool) pair.
+func (m *Mat) rebind() {
+	workers := 1
+	if m.pool != nil {
+		workers = m.pool.Workers()
+	}
+	intChoice, bndChoice := m.format, m.format
+	m.fmtInfo = FormatInfo{}
+	if m.format == sparse.ChoiceAuto {
+		ires := sparse.ProbeFormats(m.interior, false, m.pool)
+		bres := sparse.ProbeFormats(m.boundary, true, m.pool)
+		intChoice, bndChoice = ires.Choice, bres.Choice
+		m.fmtInfo.ProbeNS = ires.TotalNS + bres.TotalNS
+		m.fmtInfo.Probed = !ires.Heuristic || !bres.Heuristic
+	}
+	m.fmtInfo.Interior = bindKernel(&m.intSpMV, m.interior, false, intChoice, workers)
+	m.fmtInfo.Boundary = bindKernel(&m.bndSpMV, m.boundary, true, bndChoice, workers)
+	m.fmtBound = true
+}
+
+// bindKernel binds one block in the chosen format, falling back to CSR
+// when the block's structure does not admit the choice, and reports
+// what was bound.
+func bindKernel(k *sparse.ParSpMV, a *sparse.CSR, add bool, fc sparse.FormatChoice, workers int) sparse.Format {
+	switch fc {
+	case sparse.ChoiceSELL:
+		k.BindSELL(sparse.SELLFromCSR(a, sparse.TunedSELLChunk(a.Rows, workers)), add, workers)
+		return sparse.FmtSELL
+	case sparse.ChoiceBCSR:
+		k.BindBCSR(sparse.BCSRFromCSR(a, 0), add)
+		return sparse.FmtBCSR
+	case sparse.ChoiceMSR:
+		if a.Rows == a.Cols {
+			if msr, split, err := sparse.MSROrderedFromCSR(a); err == nil {
+				k.BindMSROrdered(msr, split, add)
+				return sparse.FmtMSR
+			}
+		}
+	case sparse.ChoiceVBR:
+		if b, ok := sparse.UniformBlocks(a); ok {
+			if v, err := sparse.VBRFromCSR(a, sparse.EvenPartition(a.Rows, b), sparse.EvenPartition(a.Cols, b)); err == nil {
+				k.BindVBR(v, add)
+				return sparse.FmtVBR
+			}
+		}
+	}
+	k.BindCSR(a, add)
+	return sparse.FmtCSR
 }
 
 // NewMat builds a square distributed matrix from this rank's local rows
@@ -141,6 +238,7 @@ func NewMatRect(rowL, colL *Layout, localRows *sparse.CSR) (*Mat, error) {
 	if err := m.splitInteriorBoundary(); err != nil {
 		return nil, fmt.Errorf("pmat: NewMatRect: %v", err)
 	}
+	m.rebind() // bind the default (CSR, serial) kernels
 
 	m.buildPlan()
 	m.sendBuf = make([][]float64, len(m.sendIdx))
@@ -260,14 +358,12 @@ func (m *Mat) Apply(y, x []float64) {
 		l.c.SendFloat64sPooled(r, tagGhost, buf)
 	}
 
-	// Interior product while the ghost values travel. The pooled kernel
-	// is row-partitioned and bitwise-identical to the serial one; comm
-	// stays on this goroutine either way.
-	if m.pool.Parallel() {
-		m.intSpMV.Apply(m.pool, y, x)
-	} else {
-		m.interior.MulVec(y, x)
-	}
+	// Interior product while the ghost values travel. The persistent
+	// kernel carries whatever format SetFormat bound; it is partitioned
+	// per worker yet bitwise-identical to the serial CSR product for
+	// every format and worker count (a nil pool runs it inline), and
+	// comm stays on this goroutine either way.
+	m.intSpMV.Apply(m.pool, y, x)
 
 	// Collect ghosts straight into their segment of the ghost buffer and
 	// add the boundary contribution.
@@ -282,11 +378,7 @@ func (m *Mat) Apply(y, x []float64) {
 		}
 	}
 	if m.boundary.NNZ() > 0 {
-		if m.pool.Parallel() {
-			m.bndSpMV.Apply(m.pool, y, ghosts)
-		} else {
-			m.boundary.MulVecAdd(y, ghosts)
-		}
+		m.bndSpMV.Apply(m.pool, y, ghosts)
 	}
 }
 

@@ -339,6 +339,7 @@ func TestServiceTypedValidation(t *testing.T) {
 		{"bad backend", func(r *service.SolveRequest) { r.Backend = "eigen" }, service.CodeUnknownBackend, 400},
 		{"bad failover", func(r *service.SolveRequest) { r.Failover = []string{"nope"} }, service.CodeUnknownBackend, 400},
 		{"procs too big", func(r *service.SolveRequest) { r.Procs = 512 }, service.CodeBadRequest, 400},
+		{"bad format", func(r *service.SolveRequest) { r.Format = "ellpack" }, service.CodeBadRequest, 400},
 		{"no operator id", func(r *service.SolveRequest) { r.Operator.ID = "" }, service.CodeBadRequest, 400},
 		{"operator body missing", func(r *service.SolveRequest) { r.Operator.GridN = 0 }, service.CodeOperatorMissing, 409},
 		{"nrhs too big", func(r *service.SolveRequest) { r.NRHS = 10000 }, service.CodeBadRequest, 400},
@@ -359,6 +360,44 @@ func TestServiceTypedValidation(t *testing.T) {
 				t.Fatalf("got %s/%d, want %s/%d (%v)", serr.Code, serr.HTTPStatus(), tc.code, tc.status, serr)
 			}
 		})
+	}
+}
+
+// TestServiceFormatPoolKey checks that the format knob separates pooled
+// sessions (different bound kernels must not share a session) while
+// repeats with the same format still reuse, and that the solves agree.
+func TestServiceFormatPoolKey(t *testing.T) {
+	svc := newTestService(t, service.Config{})
+	solve := func(format string) *service.SolveResponse {
+		t.Helper()
+		req := gridReq("acme", 12)
+		req.Format = format
+		req.ReturnSolution = true
+		var resp service.SolveResponse
+		if serr := svc.Solve(context.Background(), req, &resp); serr != nil {
+			t.Fatalf("format=%q: %v", format, serr)
+		}
+		if !resp.Converged {
+			t.Fatalf("format=%q did not converge", format)
+		}
+		return &resp
+	}
+	first := solve("sell")
+	again := solve("sell")
+	if !again.SessionReused {
+		t.Fatal("same-format repeat should hit the pooled session")
+	}
+	other := solve("bcsr")
+	if other.SessionReused {
+		t.Fatal("a different format must not reuse the pooled session")
+	}
+	if st := svc.Stats(); st.Counters["sessions_built"] != 2 {
+		t.Fatalf("sessions_built = %d, want 2", st.Counters["sessions_built"])
+	}
+	for i, v := range first.Solution {
+		if v != other.Solution[i] {
+			t.Fatalf("solutions diverge across formats at %d: %v vs %v", i, v, other.Solution[i])
+		}
 	}
 }
 

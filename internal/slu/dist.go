@@ -48,6 +48,14 @@ func (d *DistSolver) SetPool(p *par.Pool) {
 	}
 }
 
+// SetFormat is accepted for interface symmetry but is a no-op: the
+// direct solver gathers the matrix and factors it at construction, so
+// no distributed SpMV kernel survives to re-format. Refinement's
+// residuals use the gathered triangular factors, not a pmat product.
+func (d *DistSolver) SetFormat(fc sparse.FormatChoice) (pmat.FormatInfo, bool) {
+	return pmat.FormatInfo{}, false
+}
+
 // NewDistSolver gathers the distributed matrix to rank 0 and factors it
 // there (collective). Every rank receives the same success/failure
 // outcome.

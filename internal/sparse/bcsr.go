@@ -1,0 +1,230 @@
+package sparse
+
+import "fmt"
+
+// BCSR is the cache-blocked CSR format: the column space is cut into
+// vertical stripes of BlockW columns, and each stripe stores its rows
+// as an independent CSR segment. A product walks the stripes in
+// ascending order, so each stripe's gather touches a BlockW-wide slice
+// of x that fits in cache regardless of the matrix width.
+//
+// Within one row, the entries of stripe b are exactly the row's CSR
+// entries whose columns fall in [b·BlockW, (b+1)·BlockW), in the same
+// order; walking stripes ascending therefore replays the row's CSR
+// accumulation sequence term for term, making the kernels
+// bitwise-identical to CSR.MulVec / CSR.MulVecAdd.
+type BCSR struct {
+	Rows, Cols int
+	BlockW     int // column-stripe width
+	NB         int // number of stripes
+
+	// RowPtr holds NB independent row-pointer arrays back to back:
+	// stripe b's row i spans RowPtr[b*(Rows+1)+i] : RowPtr[b*(Rows+1)+i+1].
+	RowPtr []int
+	ColInd []int // original (unshifted) column indices
+	Vals   []float64
+
+	// acc is the add-mode scratch for the serial MulVecAdd (len Rows):
+	// the row sums must finish accumulating across all stripes before
+	// the single y[i] += of the CSR contract. Serial kernels are not
+	// safe for concurrent calls on one receiver.
+	acc []float64
+}
+
+// DefaultBCSRBlockW is the default column-stripe width: 4096 columns of
+// x are 32 KiB, one typical L1 data cache.
+const DefaultBCSRBlockW = 4096
+
+// BCSRFromCSR converts a CSR matrix to cache-blocked CSR with the given
+// column-stripe width (≤ 0 selects DefaultBCSRBlockW). The conversion
+// sizes every array in a first counting pass; no per-row growth.
+func BCSRFromCSR(a *CSR, blockW int) *BCSR {
+	w := blockW
+	if w <= 0 {
+		w = DefaultBCSRBlockW
+	}
+	nb := (a.Cols + w - 1) / w
+	if nb < 1 {
+		nb = 1
+	}
+	b := &BCSR{Rows: a.Rows, Cols: a.Cols, BlockW: w, NB: nb}
+	stride := a.Rows + 1
+	b.RowPtr = make([]int, nb*stride)
+
+	// Pass 1: count entries per (stripe, row) into the +1 slots.
+	for i := 0; i < a.Rows; i++ {
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			blk := a.ColInd[k] / w
+			b.RowPtr[blk*stride+i+1]++
+		}
+	}
+	// Prefix-sum across the whole array: stripe segments are laid out
+	// back to back in stripe order, rows in order within each.
+	total := 0
+	for blk := 0; blk < nb; blk++ {
+		base := blk * stride
+		b.RowPtr[base] = total
+		for i := 0; i < a.Rows; i++ {
+			total += b.RowPtr[base+i+1]
+			b.RowPtr[base+i+1] = total
+		}
+	}
+	b.ColInd = make([]int, total)
+	b.Vals = make([]float64, total)
+
+	// Pass 2: fill, advancing a per-(stripe,row) cursor. next[] borrows
+	// the RowPtr starts and is restored by construction: after filling,
+	// next[blk*stride+i] == RowPtr[blk*stride+i+1], so we rebuild the
+	// starts by shifting instead of keeping a second array.
+	next := make([]int, nb*stride)
+	for blk := 0; blk < nb; blk++ {
+		base := blk * stride
+		for i := 0; i < a.Rows; i++ {
+			next[base+i] = b.RowPtr[base+i]
+		}
+	}
+	for i := 0; i < a.Rows; i++ {
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			blk := a.ColInd[k] / w
+			p := next[blk*stride+i]
+			b.ColInd[p] = a.ColInd[k]
+			b.Vals[p] = a.Vals[k]
+			next[blk*stride+i] = p + 1
+		}
+	}
+	b.acc = make([]float64, a.Rows)
+	return b
+}
+
+// Dims returns the global (rows, cols).
+func (b *BCSR) Dims() (int, int) { return b.Rows, b.Cols }
+
+// NNZ returns the number of stored entries.
+func (b *BCSR) NNZ() int { return len(b.Vals) }
+
+// Validate checks structural consistency: monotone row pointers per
+// stripe, stripes laid out back to back, and every entry's column
+// inside its stripe.
+func (b *BCSR) Validate() error {
+	if b.BlockW < 1 || b.NB != (b.Cols+b.BlockW-1)/b.BlockW && !(b.Cols == 0 && b.NB == 1) {
+		return fmt.Errorf("sparse: BCSR: stripe count %d inconsistent with %d cols of width %d", b.NB, b.Cols, b.BlockW)
+	}
+	stride := b.Rows + 1
+	if len(b.RowPtr) != b.NB*stride {
+		return fmt.Errorf("sparse: BCSR: RowPtr length %d, want %d", len(b.RowPtr), b.NB*stride)
+	}
+	prevEnd := 0
+	for blk := 0; blk < b.NB; blk++ {
+		base := blk * stride
+		if b.RowPtr[base] != prevEnd {
+			return fmt.Errorf("sparse: BCSR: stripe %d starts at %d, want %d", blk, b.RowPtr[base], prevEnd)
+		}
+		for i := 0; i < b.Rows; i++ {
+			lo, hi := b.RowPtr[base+i], b.RowPtr[base+i+1]
+			if lo > hi || hi > len(b.Vals) {
+				return fmt.Errorf("sparse: BCSR: stripe %d row %d pointers not monotone", blk, i)
+			}
+			for k := lo; k < hi; k++ {
+				if c := b.ColInd[k]; c < 0 || c >= b.Cols || c/b.BlockW != blk {
+					return fmt.Errorf("sparse: BCSR: column %d outside stripe %d", c, blk)
+				}
+			}
+		}
+		prevEnd = b.RowPtr[base+b.Rows]
+	}
+	if prevEnd != len(b.Vals) || len(b.Vals) != len(b.ColInd) {
+		return fmt.Errorf("sparse: BCSR: storage length mismatch")
+	}
+	return nil
+}
+
+// mulRows streams every stripe's [lo, hi) row range into dst, assuming
+// dst[lo:hi] is already zeroed: per stripe the partial row sum is
+// loaded, extended in CSR entry order, and stored back, which replays
+// the serial CSR accumulation exactly (float64 store/load round-trips
+// are value-preserving).
+func (b *BCSR) mulRows(dst, x []float64, lo, hi int) {
+	stride := b.Rows + 1
+	for blk := 0; blk < b.NB; blk++ {
+		base := blk * stride
+		for i := lo; i < hi; i++ {
+			k, end := b.RowPtr[base+i], b.RowPtr[base+i+1]
+			if k == end {
+				continue
+			}
+			s := dst[i]
+			for ; k+4 <= end; k += 4 {
+				s += b.Vals[k] * x[b.ColInd[k]]
+				s += b.Vals[k+1] * x[b.ColInd[k+1]]
+				s += b.Vals[k+2] * x[b.ColInd[k+2]]
+				s += b.Vals[k+3] * x[b.ColInd[k+3]]
+			}
+			for ; k < end; k++ {
+				s += b.Vals[k] * x[b.ColInd[k]]
+			}
+			dst[i] = s
+		}
+	}
+}
+
+// MulVec computes y = A*x, bitwise-identical to CSR.MulVec on the
+// matrix this BCSR was converted from.
+func (b *BCSR) MulVec(y, x []float64) {
+	checkDims("BCSR.MulVec x", b.Cols, len(x))
+	checkDims("BCSR.MulVec y", b.Rows, len(y))
+	for i := range y {
+		y[i] = 0
+	}
+	b.mulRows(y, x, 0, b.Rows)
+}
+
+// MulVecAdd computes y += A*x. The row sums accumulate from zero in
+// receiver scratch and land with one y[i] += per row, matching
+// CSR.MulVecAdd bit for bit (y + Σ, not ((y+t₁)+t₂)+…). Not safe for
+// concurrent calls on one receiver; use ParSpMV for the pooled path.
+func (b *BCSR) MulVecAdd(y, x []float64) {
+	checkDims("BCSR.MulVecAdd x", b.Cols, len(x))
+	checkDims("BCSR.MulVecAdd y", b.Rows, len(y))
+	for i := range b.acc {
+		b.acc[i] = 0
+	}
+	b.mulRows(b.acc, x, 0, b.Rows)
+	for i := range y {
+		y[i] += b.acc[i]
+	}
+}
+
+// ToCSR expands back to CSR (exact inverse of BCSRFromCSR).
+func (b *BCSR) ToCSR() *CSR {
+	n := b.Rows
+	stride := n + 1
+	rp := make([]int, n+1)
+	for blk := 0; blk < b.NB; blk++ {
+		base := blk * stride
+		for i := 0; i < n; i++ {
+			rp[i+1] += b.RowPtr[base+i+1] - b.RowPtr[base+i]
+		}
+	}
+	for i := 0; i < n; i++ {
+		rp[i+1] += rp[i]
+	}
+	ci := make([]int, rp[n])
+	v := make([]float64, rp[n])
+	pos := make([]int, n)
+	copy(pos, rp[:n])
+	for blk := 0; blk < b.NB; blk++ {
+		base := blk * stride
+		for i := 0; i < n; i++ {
+			for k := b.RowPtr[base+i]; k < b.RowPtr[base+i+1]; k++ {
+				ci[pos[i]] = b.ColInd[k]
+				v[pos[i]] = b.Vals[k]
+				pos[i]++
+			}
+		}
+	}
+	out, err := NewCSR(n, b.Cols, rp, ci, v)
+	if err != nil {
+		panic(fmt.Sprintf("sparse: BCSR.ToCSR: %v", err))
+	}
+	return out
+}

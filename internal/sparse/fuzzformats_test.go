@@ -1,0 +1,115 @@
+package sparse
+
+import (
+	"math"
+	"testing"
+)
+
+// fuzzCSR decodes raw fuzz bytes into a CSR via the bounded triplet
+// decoder shared with FuzzCSRFromTriplets.
+func fuzzCSR(data []byte) *CSR {
+	rows, cols, ri, ci, v := decodeTriplets(data)
+	coo, err := NewCOOFromArrays(rows, cols, ri, ci, v)
+	if err != nil {
+		return nil
+	}
+	return coo.ToCSR()
+}
+
+// fuzzBitsEqual reports the first bit mismatch between two products.
+func fuzzBitsEqual(t *testing.T, label string, got, want []float64) {
+	t.Helper()
+	for i := range want {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("%s: y[%d] = %g (%x), want %g (%x)",
+				label, i, got[i], math.Float64bits(got[i]), want[i], math.Float64bits(want[i]))
+		}
+	}
+}
+
+// FuzzSELLFromCSR drives the CSR→SELL-C-σ converter with arbitrary
+// matrices and chunk heights: the result must validate, round-trip to
+// the identical CSR, and reproduce the CSR product bit for bit
+// (including MulVecAdd and the pooled binding's serial path).
+func FuzzSELLFromCSR(f *testing.F) {
+	f.Add([]byte{}, uint8(0))
+	f.Add([]byte{3, 3, 0, 0, 1, 0, 0, 0, 1, 1, 2, 0, 0, 0, 2, 2, 3, 0, 0, 0}, uint8(2))
+	f.Add([]byte{32, 32, 5, 9, 255, 1, 2, 3, 0, 9, 4, 4, 4, 4, 31, 31, 1, 0, 0, 128}, uint8(1))
+	f.Add([]byte{16, 1, 0, 0, 1, 1, 1, 1, 15, 0, 2, 2, 2, 2}, uint8(33))
+	f.Fuzz(func(t *testing.T, data []byte, chunk uint8) {
+		a := fuzzCSR(data)
+		if a == nil {
+			return
+		}
+		s := SELLFromCSR(a, int(chunk)%40) // 0 selects the default
+		if err := s.Validate(); err != nil {
+			t.Fatalf("converted SELL fails validation: %v", err)
+		}
+		if !s.ToCSR().Equal(a) {
+			t.Fatal("SELL -> CSR round trip changed the matrix")
+		}
+		x := make([]float64, a.Cols)
+		for j := range x {
+			x[j] = float64(j%5) - 2.25
+		}
+		want := make([]float64, a.Rows)
+		a.MulVec(want, x)
+		got := make([]float64, a.Rows)
+		s.MulVec(got, x)
+		fuzzBitsEqual(t, "SELL.MulVec", got, want)
+
+		a.MulVecAdd(want, x)
+		s.MulVecAdd(got, x)
+		fuzzBitsEqual(t, "SELL.MulVecAdd", got, want)
+
+		var k ParSpMV
+		k.BindSELL(s, false, 1)
+		k.Apply(nil, got, x)
+		wantMul := make([]float64, a.Rows)
+		a.MulVec(wantMul, x)
+		fuzzBitsEqual(t, "ParSpMV/SELL", got, wantMul)
+	})
+}
+
+// FuzzBCSRFromCSR drives the CSR→cache-blocked-CSR converter with
+// arbitrary matrices and stripe widths under the same contract:
+// validation, exact round trip, and bit-identical products.
+func FuzzBCSRFromCSR(f *testing.F) {
+	f.Add([]byte{}, uint8(0))
+	f.Add([]byte{3, 3, 0, 0, 1, 0, 0, 0, 1, 1, 2, 0, 0, 0, 2, 2, 3, 0, 0, 0}, uint8(1))
+	f.Add([]byte{8, 32, 0, 31, 255, 255, 0, 1, 7, 0, 9, 9, 9, 9, 3, 17, 1, 2, 3, 4}, uint8(7))
+	f.Add([]byte{32, 32, 5, 9, 255, 1, 2, 3, 0, 9, 4, 4, 4, 4, 31, 31, 1, 0, 0, 128}, uint8(40))
+	f.Fuzz(func(t *testing.T, data []byte, stripe uint8) {
+		a := fuzzCSR(data)
+		if a == nil {
+			return
+		}
+		b := BCSRFromCSR(a, int(stripe)%40) // 0 selects the default
+		if err := b.Validate(); err != nil {
+			t.Fatalf("converted BCSR fails validation: %v", err)
+		}
+		if !b.ToCSR().Equal(a) {
+			t.Fatal("BCSR -> CSR round trip changed the matrix")
+		}
+		x := make([]float64, a.Cols)
+		for j := range x {
+			x[j] = float64(j%5) - 2.25
+		}
+		want := make([]float64, a.Rows)
+		a.MulVec(want, x)
+		got := make([]float64, a.Rows)
+		b.MulVec(got, x)
+		fuzzBitsEqual(t, "BCSR.MulVec", got, want)
+
+		a.MulVecAdd(want, x)
+		b.MulVecAdd(got, x)
+		fuzzBitsEqual(t, "BCSR.MulVecAdd", got, want)
+
+		var k ParSpMV
+		k.BindBCSR(b, true)
+		wantAdd := append([]float64(nil), want...)
+		a.MulVecAdd(wantAdd, x)
+		k.Apply(nil, got, x)
+		fuzzBitsEqual(t, "ParSpMV/BCSR-add", got, wantAdd)
+	})
+}

@@ -124,3 +124,31 @@ func MSRFromCSR(a *CSR) (*MSR, error) {
 	ind[n] = p
 	return &MSR{N: n, Val: val, Ind: ind}, nil
 }
+
+// MSROrderedFromCSR converts to MSR and also returns the diagonal
+// split positions the order-exact kernel needs: split[i] is the
+// absolute Val/Ind index at which row i's diagonal term belongs in
+// ascending-column order (it may equal Ind[i+1] when the diagonal is
+// the row's last entry), or -1 when the CSR stores no diagonal entry —
+// MSR's diagonal slot is structural, so a missing CSR diagonal must
+// contribute no term at all if the product is to reproduce the CSR
+// bits (even adding 0.0 can flip the sign of a -0.0 partial sum).
+func MSROrderedFromCSR(a *CSR) (*MSR, []int, error) {
+	m, err := MSRFromCSR(a)
+	if err != nil {
+		return nil, nil, err
+	}
+	split := make([]int, m.N)
+	for i := 0; i < m.N; i++ {
+		split[i] = -1
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			if a.ColInd[k] == i {
+				// Off-diagonals keep CSR order, so the diagonal's slot
+				// is its CSR position offset into the off-diagonal run.
+				split[i] = m.Ind[i] + (k - a.RowPtr[i])
+				break
+			}
+		}
+	}
+	return m, split, nil
+}

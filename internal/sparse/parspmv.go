@@ -2,39 +2,130 @@ package sparse
 
 import "repro/internal/par"
 
-// ParSpMV is a reusable worker-pool SpMV kernel bound to one CSR or MSR
-// operand. Row-partitioned SpMV is bitwise-identical to the serial
-// MulVec for any worker count — each row's accumulation sequence is
-// unchanged, only which worker runs it varies — so callers may switch
-// freely between Apply and the serial kernels.
+// ParSpMV is a reusable worker-pool SpMV kernel bound to one sparse
+// operand — CSR, MSR (diag-first or order-exact), SELL-C-σ, cache-
+// blocked CSR, or VBR. The partition unit follows the format (rows for
+// CSR/MSR/BCSR, chunks for SELL, block rows for VBR) and every row's
+// accumulation sequence is unchanged for any worker count, so all
+// order-exact bindings are bitwise-identical to the serial CSR kernels
+// and callers may switch freely between Apply and the serial paths.
+// (BindMSR keeps the legacy diag-first MSR order and matches
+// MSR.MulVec instead.)
 //
 // Bind at Setup time and call Apply per product: the task struct is the
-// persistent par.Task, so the dispatch path performs no allocation.
+// persistent par.Task and owns all per-slot scratch, so the dispatch
+// path performs no allocation.
 type ParSpMV struct {
-	csr *CSR
-	msr *MSR
+	csr  *CSR
+	msr  *MSR
+	sell *SELL
+	bcsr *BCSR
+	vbr  *VBR
+
+	// msrSplit, when non-nil alongside msr, selects the order-exact MSR
+	// kernel: msrSplit[i] is the absolute Val/Ind index where row i's
+	// diagonal term belongs in ascending-column order, or -1 when the
+	// source CSR stored no diagonal entry (see MSROrderedFromCSR).
+	msrSplit []int
+
 	add bool
 	y   []float64
 	x   []float64
+
+	// scratch backs the per-slot accumulators: slots*C lanes for SELL,
+	// the full row range for BCSR add-mode partial sums (row-partitioned,
+	// so slots write disjoint segments). Sized at bind time.
+	scratch []float64
+	slots   int
+}
+
+func (t *ParSpMV) reset() {
+	t.csr, t.msr, t.sell, t.bcsr, t.vbr = nil, nil, nil, nil, nil
+	t.msrSplit = nil
+	t.scratch = nil
+	t.slots = 0
 }
 
 // BindCSR points the kernel at a CSR operand. With add set, Apply
 // computes y += A·x (the ghost-column update in pmat.Apply); otherwise
 // y = A·x.
 func (t *ParSpMV) BindCSR(a *CSR, add bool) {
-	t.csr, t.msr, t.add = a, nil, add
+	t.reset()
+	t.csr, t.add = a, add
 }
 
-// BindMSR points the kernel at an MSR operand (y = A·x).
+// BindMSR points the kernel at an MSR operand (y = A·x) with the
+// legacy diag-first accumulation order of MSR.MulVec.
 func (t *ParSpMV) BindMSR(a *MSR) {
-	t.csr, t.msr, t.add = nil, a, false
+	t.reset()
+	t.msr = a
+}
+
+// BindMSROrdered points the kernel at an MSR operand using the
+// order-exact kernel: each row accumulates in ascending column order
+// with the diagonal merged at split[i], reproducing the serial CSR
+// bits. Build the pair with MSROrderedFromCSR.
+func (t *ParSpMV) BindMSROrdered(a *MSR, split []int, add bool) {
+	t.reset()
+	t.msr, t.msrSplit, t.add = a, split, add
+}
+
+// BindSELL points the kernel at a SELL-C-σ operand. workers sizes the
+// per-slot accumulator scratch (≤ 1 for a serial-only binding).
+func (t *ParSpMV) BindSELL(a *SELL, add bool, workers int) {
+	t.reset()
+	if workers < 1 {
+		workers = 1
+	}
+	t.sell, t.add = a, add
+	t.slots = workers
+	t.scratch = make([]float64, workers*a.C)
+}
+
+// BindBCSR points the kernel at a cache-blocked CSR operand. Add mode
+// carries a full-length partial-sum scratch so each row still lands
+// with a single y[i] += of its complete sum.
+func (t *ParSpMV) BindBCSR(a *BCSR, add bool) {
+	t.reset()
+	t.bcsr, t.add = a, add
+	if add {
+		t.scratch = make([]float64, a.Rows)
+	}
+}
+
+// BindVBR points the kernel at a VBR operand using the order-exact
+// kernel (ascending blocks, ascending columns within each block, no
+// zero-skip). The product is bitwise-identical to the source CSR only
+// when the blocks carry no padding — the perfect-fill condition
+// UniformBlocks detects — which is the only way the autotuner enrolls
+// VBR.
+func (t *ParSpMV) BindVBR(a *VBR, add bool) {
+	t.reset()
+	t.vbr, t.add = a, add
+}
+
+// Format reports the bound operand's storage format (FmtCSR when
+// nothing is bound yet, matching the zero value's legacy behavior).
+func (t *ParSpMV) Format() Format {
+	switch {
+	case t.sell != nil:
+		return FmtSELL
+	case t.bcsr != nil:
+		return FmtBCSR
+	case t.vbr != nil:
+		return FmtVBR
+	case t.msr != nil:
+		return FmtMSR
+	default:
+		return FmtCSR
+	}
 }
 
 // Apply runs the bound product on p's workers (inline when p is nil or
 // serial). It matches the corresponding serial kernel's checkDims
 // panics bit for bit as well as its arithmetic.
 func (t *ParSpMV) Apply(p *par.Pool, y, x []float64) {
-	rows := 0
+	units := 0
 	switch {
 	case t.csr != nil:
 		// Constant operands keep the dimension checks allocation-free
@@ -46,25 +137,53 @@ func (t *ParSpMV) Apply(p *par.Pool, y, x []float64) {
 		}
 		checkDims(opX, t.csr.Cols, len(x))
 		checkDims(opY, t.csr.Rows, len(y))
-		rows = t.csr.Rows
+		units = t.csr.Rows
 	case t.msr != nil:
 		checkDims("MSR.MulVec x", t.msr.N, len(x))
 		checkDims("MSR.MulVec y", t.msr.N, len(y))
-		rows = t.msr.N
+		units = t.msr.N
+	case t.sell != nil:
+		opX, opY := "SELL.MulVec x", "SELL.MulVec y"
+		if t.add {
+			opX, opY = "SELL.MulVecAdd x", "SELL.MulVecAdd y"
+		}
+		checkDims(opX, t.sell.Cols, len(x))
+		checkDims(opY, t.sell.Rows, len(y))
+		units = t.sell.NumChunks()
+	case t.bcsr != nil:
+		opX, opY := "BCSR.MulVec x", "BCSR.MulVec y"
+		if t.add {
+			opX, opY = "BCSR.MulVecAdd x", "BCSR.MulVecAdd y"
+		}
+		checkDims(opX, t.bcsr.Cols, len(x))
+		checkDims(opY, t.bcsr.Rows, len(y))
+		units = t.bcsr.Rows
+	case t.vbr != nil:
+		rows, cols := t.vbr.Dims()
+		opX, opY := "VBR.MulVec x", "VBR.MulVec y"
+		if t.add {
+			opX, opY = "VBR.MulVecAdd x", "VBR.MulVecAdd y"
+		}
+		checkDims(opX, cols, len(x))
+		checkDims(opY, rows, len(y))
+		units = t.vbr.NumBlockRows()
 	default:
 		panic("sparse: ParSpMV.Apply before Bind")
 	}
 	t.y, t.x = y, x
-	p.Run(rows, t)
+	p.Run(units, t)
 	t.y, t.x = nil, nil
 }
 
-// Range computes the bound product for rows [lo, hi). It is the
-// par.Task hook; each row accumulates into a local and writes its own
-// slot of y, so slots share nothing.
-func (t *ParSpMV) Range(_, lo, hi int) {
+// Range computes the bound product for partition units [lo, hi) — rows,
+// SELL chunks, or VBR block rows depending on the binding. It is the
+// par.Task hook; every unit writes a disjoint slice of y (and of the
+// slot scratch), so slots share nothing.
+func (t *ParSpMV) Range(slot, lo, hi int) {
 	x, y := t.x, t.y
-	if a := t.csr; a != nil {
+	switch {
+	case t.csr != nil:
+		a := t.csr
 		for i := lo; i < hi; i++ {
 			s := 0.0
 			for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
@@ -76,14 +195,61 @@ func (t *ParSpMV) Range(_, lo, hi int) {
 				y[i] = s
 			}
 		}
-		return
-	}
-	a := t.msr
-	for i := lo; i < hi; i++ {
-		s := a.Val[i] * x[i]
-		for k := a.Ind[i]; k < a.Ind[i+1]; k++ {
-			s += a.Val[k] * x[a.Ind[k]]
+	case t.msr != nil && t.msrSplit == nil:
+		a := t.msr
+		for i := lo; i < hi; i++ {
+			s := a.Val[i] * x[i]
+			for k := a.Ind[i]; k < a.Ind[i+1]; k++ {
+				s += a.Val[k] * x[a.Ind[k]]
+			}
+			y[i] = s
 		}
-		y[i] = s
+	case t.msr != nil:
+		a := t.msr
+		for i := lo; i < hi; i++ {
+			s := 0.0
+			end := a.Ind[i+1]
+			sp := t.msrSplit[i]
+			for k := a.Ind[i]; k < end; k++ {
+				if k == sp {
+					s += a.Val[i] * x[i]
+				}
+				s += a.Val[k] * x[a.Ind[k]]
+			}
+			if sp == end {
+				s += a.Val[i] * x[i]
+			}
+			if t.add {
+				y[i] += s
+			} else {
+				y[i] = s
+			}
+		}
+	case t.sell != nil:
+		a := t.sell
+		acc := t.scratch[slot*a.C : (slot+1)*a.C]
+		for ch := lo; ch < hi; ch++ {
+			r0, r1 := a.mulChunk(ch, acc, x)
+			a.scatterChunk(r0, r1, acc, y, t.add)
+		}
+	case t.bcsr != nil:
+		a := t.bcsr
+		if !t.add {
+			for i := lo; i < hi; i++ {
+				y[i] = 0
+			}
+			a.mulRows(y, x, lo, hi)
+			return
+		}
+		acc := t.scratch
+		for i := lo; i < hi; i++ {
+			acc[i] = 0
+		}
+		a.mulRows(acc, x, lo, hi)
+		for i := lo; i < hi; i++ {
+			y[i] += acc[i]
+		}
+	case t.vbr != nil:
+		t.vbr.mulBlockRows(y, x, lo, hi, t.add)
 	}
 }

@@ -32,12 +32,14 @@ type Format int
 
 // Supported formats.
 const (
-	FmtCSR Format = iota // compressed sparse row
-	FmtCOO               // coordinate (triplet)
-	FmtMSR               // modified sparse row
-	FmtVBR               // variable block row
-	FmtFEM               // finite-element (element-wise) assembly
-	FmtCSC               // compressed sparse column (extension)
+	FmtCSR  Format = iota // compressed sparse row
+	FmtCOO                // coordinate (triplet)
+	FmtMSR                // modified sparse row
+	FmtVBR                // variable block row
+	FmtFEM                // finite-element (element-wise) assembly
+	FmtCSC                // compressed sparse column (extension)
+	FmtSELL               // SELL-C-σ sliced ELLPACK (extension; kernel-only, not a SparseStruct)
+	FmtBCSR               // cache-blocked CSR (extension; kernel-only, not a SparseStruct)
 )
 
 // String returns the format's conventional name.
@@ -55,6 +57,10 @@ func (f Format) String() string {
 		return "FEM"
 	case FmtCSC:
 		return "CSC"
+	case FmtSELL:
+		return "SELL"
+	case FmtBCSR:
+		return "BCSR"
 	}
 	return fmt.Sprintf("Format(%d)", int(f))
 }

@@ -11,37 +11,127 @@ import (
 
 func benchOperator(n int) *CSR { return Laplace2D(n, n) }
 
+// benchBlockMatrix builds a block-tridiagonal matrix of fully dense
+// 3×3 blocks — the perfect-fill structure that enrolls VBR.
+func benchBlockMatrix(blockRows int) *CSR {
+	coo := NewCOO(3*blockRows, 3*blockRows)
+	for bi := 0; bi < blockRows; bi++ {
+		for _, bj := range []int{bi - 1, bi, bi + 1} {
+			if bj < 0 || bj >= blockRows {
+				continue
+			}
+			for r := 0; r < 3; r++ {
+				for c := 0; c < 3; c++ {
+					coo.Append(3*bi+r, 3*bj+c, float64(1+r+c)-0.5*float64(bi%7))
+				}
+			}
+		}
+	}
+	return coo.ToCSR()
+}
+
+// BenchmarkSpMVFormats times one serial product per storage format on
+// the bench matrix families. The per-format keys (and their 0-alloc
+// gates) and the auto row — the steady-state kernel the probe binds,
+// which must track the per-family winner — are pinned by
+// scripts/benchguard.sh.
 func BenchmarkSpMVFormats(b *testing.B) {
-	b.ReportAllocs()
-	a := benchOperator(100) // n=10,000, nnz≈49,600
-	x := RandomVector(a.Cols, 1)
-	y := make([]float64, a.Rows)
-	msr, err := MSRFromCSR(a)
-	if err != nil {
-		b.Fatal(err)
-	}
-	vbr, err := VBRFromCSR(a, evenPartition(a.Rows, 4), evenPartition(a.Cols, 4))
-	if err != nil {
-		b.Fatal(err)
-	}
-	mats := []struct {
+	families := []struct {
 		name string
-		m    Matrix
+		a    *CSR
 	}{
-		{"CSR", a},
-		{"CSC", a.ToCSC()},
-		{"COO", a.ToCOO()},
-		{"MSR", msr},
-		{"VBR", vbr},
+		{"stencil", benchOperator(100)},             // n=10,000, nnz≈49,600
+		{"banded", Tridiag(30000, -1.25, 4, -0.75)}, // nnz≈90,000
+		{"random", RandomUnsymmetric(20000, 8, 3)},  // nnz≈160,000
+		{"block3", benchBlockMatrix(2000)},          // n=6,000, nnz≈54,000
 	}
-	for _, tc := range mats {
-		b.Run(tc.name, func(b *testing.B) {
+	for _, fam := range families {
+		a := fam.a
+		x := RandomVector(a.Cols, 1)
+		y := make([]float64, a.Rows)
+		msr, err := MSRFromCSR(a)
+		if err != nil {
+			b.Fatal(err)
+		}
+		kernels := []struct {
+			name string
+			m    Matrix
+		}{
+			{"CSR", a},
+			{"MSR", msr},
+			{"SELL", SELLFromCSR(a, 0)},
+			{"BCSR", BCSRFromCSR(a, 0)},
+		}
+		if blk, ok := UniformBlocks(a); ok {
+			vbr, err := VBRFromCSR(a, EvenPartition(a.Rows, blk), EvenPartition(a.Cols, blk))
+			if err != nil {
+				b.Fatal(err)
+			}
+			kernels = append(kernels, struct {
+				name string
+				m    Matrix
+			}{"VBR", vbr})
+		}
+		// The probe-bound steady-state kernel: what format=auto runs
+		// after Setup. Must never lose to CSR beyond probe noise.
+		var auto ParSpMV
+		bindProbeWinner(b, &auto, a, ProbeFormats(a, false, nil).Choice)
+		for _, tc := range kernels {
+			b.Run(fam.name+"/"+tc.name, func(b *testing.B) {
+				b.ReportAllocs()
+				b.SetBytes(int64(a.NNZ() * 8))
+				for i := 0; i < b.N; i++ {
+					tc.m.MulVec(y, x)
+				}
+			})
+		}
+		b.Run(fam.name+"/auto", func(b *testing.B) {
 			b.ReportAllocs()
 			b.SetBytes(int64(a.NNZ() * 8))
 			for i := 0; i < b.N; i++ {
-				tc.m.MulVec(y, x)
+				auto.Apply(nil, y, x)
 			}
 		})
+	}
+}
+
+// bindProbeWinner binds one probe decision for a into k, the way
+// pmat.Mat.SetFormat does for format=auto.
+func bindProbeWinner(b *testing.B, k *ParSpMV, a *CSR, choice FormatChoice) {
+	b.Helper()
+	switch choice {
+	case ChoiceSELL:
+		k.BindSELL(SELLFromCSR(a, TunedSELLChunk(a.Rows, 1)), false, 1)
+	case ChoiceBCSR:
+		k.BindBCSR(BCSRFromCSR(a, 0), false)
+	case ChoiceMSR:
+		m, split, err := MSROrderedFromCSR(a)
+		if err != nil {
+			b.Fatal(err)
+		}
+		k.BindMSROrdered(m, split, false)
+	case ChoiceVBR:
+		blk, _ := UniformBlocks(a)
+		v, err := VBRFromCSR(a, EvenPartition(a.Rows, blk), EvenPartition(a.Cols, blk))
+		if err != nil {
+			b.Fatal(err)
+		}
+		k.BindVBR(v, false)
+	default:
+		k.BindCSR(a, false)
+	}
+}
+
+// BenchmarkFormatProbe bounds the Setup-time cost of the autotuning
+// probe (conversions plus the fixed median-of-k timing reps) on the
+// stencil operator.
+func BenchmarkFormatProbe(b *testing.B) {
+	b.ReportAllocs()
+	a := benchOperator(100)
+	for i := 0; i < b.N; i++ {
+		if res := ProbeFormats(a, false, nil); res.Heuristic {
+			b.Fatal("probe took the tiny-matrix fast path")
+		}
 	}
 }
 

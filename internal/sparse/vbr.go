@@ -102,6 +102,102 @@ func (a *VBR) MulVec(y, x []float64) {
 	}
 }
 
+// mulBlockRows is the order-exact kernel over block rows [lo, hi): each
+// scalar row accumulates across its stored blocks in ascending
+// block-column order and ascending columns within each block, with no
+// zero-skip — the serial CSR accumulation sequence whenever the blocks
+// carry no padding (the perfect-fill condition UniformBlocks detects).
+// It is the ParSpMV hook; block rows write disjoint slices of y.
+func (a *VBR) mulBlockRows(y, x []float64, lo, hi int, add bool) {
+	for I := lo; I < hi; I++ {
+		r0, r1 := a.RPntr[I], a.RPntr[I+1]
+		br := r1 - r0
+		k0, k1 := a.BPntr[I], a.BPntr[I+1]
+		for r := 0; r < br; r++ {
+			s := 0.0
+			for k := k0; k < k1; k++ {
+				J := a.BInd[k]
+				c0 := a.CPntr[J]
+				bc := a.CPntr[J+1] - c0
+				blk := a.Val[a.Indx[k]:a.Indx[k+1]]
+				for c := 0; c < bc; c++ {
+					s += blk[c*br+r] * x[c0+c]
+				}
+			}
+			if add {
+				y[r0+r] += s
+			} else {
+				y[r0+r] = s
+			}
+		}
+	}
+}
+
+// UniformBlocks looks for a square block size b (largest of the given
+// candidates, DefaultUniformBlockSizes when none) such that the matrix
+// tiles exactly into b×b blocks that are each either fully stored or
+// fully absent. Under that perfect-fill condition a VBR built on the
+// even b-partition carries no padding, so the order-exact VBR kernel
+// is bitwise-identical to CSR — the only condition under which the
+// autotuner enrolls VBR as a candidate.
+func UniformBlocks(a *CSR, sizes ...int) (int, bool) {
+	if len(sizes) == 0 {
+		sizes = DefaultUniformBlockSizes
+	}
+next:
+	for _, b := range sizes {
+		if b < 2 || a.Rows%b != 0 || a.Cols%b != 0 || a.NNZ()%(b*b) != 0 {
+			continue
+		}
+		for i := 0; i < a.Rows; i++ {
+			lo, hi := a.RowPtr[i], a.RowPtr[i+1]
+			if (hi-lo)%b != 0 {
+				continue next
+			}
+			for k := lo; k < hi; k += b {
+				// Each group of b consecutive entries must cover one
+				// full block width [J*b, (J+1)*b).
+				c := a.ColInd[k]
+				if c%b != 0 || a.ColInd[k+b-1] != c+b-1 {
+					continue next
+				}
+			}
+			// All rows of a block row must share the same block set.
+			if i%b != 0 {
+				pl, ph := a.RowPtr[i-1], a.RowPtr[i]
+				if ph-pl != hi-lo {
+					continue next
+				}
+				for k := 0; k < hi-lo; k += b {
+					if a.ColInd[pl+k] != a.ColInd[lo+k] {
+						continue next
+					}
+				}
+			}
+		}
+		return b, true
+	}
+	return 0, false
+}
+
+// DefaultUniformBlockSizes are the block sizes UniformBlocks tries, in
+// preference order.
+var DefaultUniformBlockSizes = []int{4, 3, 2}
+
+// EvenPartition returns the pointer array {0, b, 2b, …, n} cutting n
+// indices into blocks of b (the final block holds any remainder).
+func EvenPartition(n, b int) []int {
+	if b < 1 {
+		b = 1
+	}
+	p := make([]int, 0, n/b+2)
+	for i := 0; i < n; i += b {
+		p = append(p, i)
+	}
+	p = append(p, n)
+	return p
+}
+
 // ToCSR expands the blocks to scalar CSR entries, dropping exact zeros
 // introduced by block padding.
 func (a *VBR) ToCSR() *CSR {
@@ -149,42 +245,65 @@ func VBRFromCSR(a *CSR, rpntr, cpntr []int) (*VBR, error) {
 			col2blk[c] = J
 		}
 	}
-	v := &VBR{RPntr: rpntr, CPntr: cpntr, BPntr: make([]int, nbr+1), Indx: []int{0}}
+	// Pass 1: size everything up front — which blocks exist per block
+	// row and the total padded value count — so the fill pass below
+	// never grows a slice. present/blkPos are dense per-block-column
+	// scratch reused across block rows (maps would also make the block
+	// order depend on iteration order).
+	v := &VBR{RPntr: rpntr, CPntr: cpntr, BPntr: make([]int, nbr+1)}
+	present := make([]bool, nbc)
+	blkPos := make([]int, nbc) // block col -> offset of its values
+	nblk, nval := 0, 0
 	for I := 0; I < nbr; I++ {
 		if rpntr[I] > rpntr[I+1] {
 			return nil, fmt.Errorf("sparse: VBRFromCSR: row partition not monotone at %d", I)
 		}
 		r0, r1 := rpntr[I], rpntr[I+1]
 		br := r1 - r0
-		// Find nonzero block columns of this block row.
-		present := make(map[int]bool)
 		for i := r0; i < r1; i++ {
 			for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
 				present[col2blk[a.ColInd[k]]] = true
 			}
 		}
-		blocks := make([]int, 0, len(present))
 		for J := 0; J < nbc; J++ {
 			if present[J] {
-				blocks = append(blocks, J)
+				present[J] = false
+				nblk++
+				nval += br * (cpntr[J+1] - cpntr[J])
 			}
 		}
-		blkPos := make(map[int]int, len(blocks)) // block col -> offset of its values
-		for _, J := range blocks {
+	}
+	v.BInd = make([]int, 0, nblk)
+	v.Indx = make([]int, 1, nblk+1)
+	v.Val = make([]float64, nval)
+
+	// Pass 2: fill. Blocks are appended in ascending block-column order
+	// within each block row, into the preallocated arrays.
+	pos := 0
+	for I := 0; I < nbr; I++ {
+		r0, r1 := rpntr[I], rpntr[I+1]
+		br := r1 - r0
+		for i := r0; i < r1; i++ {
+			for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+				present[col2blk[a.ColInd[k]]] = true
+			}
+		}
+		for J := 0; J < nbc; J++ {
+			if !present[J] {
+				continue
+			}
+			present[J] = false
 			bc := cpntr[J+1] - cpntr[J]
-			blkPos[J] = len(v.Val)
+			blkPos[J] = pos
+			pos += br * bc
 			v.BInd = append(v.BInd, J)
-			v.Val = append(v.Val, make([]float64, br*bc)...)
-			v.Indx = append(v.Indx, len(v.Val))
+			v.Indx = append(v.Indx, pos)
 		}
 		for i := r0; i < r1; i++ {
 			for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
 				j := a.ColInd[k]
 				J := col2blk[j]
-				base := blkPos[J]
-				r := i - r0
-				c := j - cpntr[J]
-				v.Val[base+c*br+r] = a.Vals[k]
+				v.Val[blkPos[J]+(j-cpntr[J])*br+(i-r0)] = a.Vals[k]
 			}
 		}
 		v.BPntr[I+1] = len(v.BInd)
