@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test check race workers vet fmt lint vet-self ignore-audit bench benchguard baseline telemetry chaos chaos-service serve-integration fuzz clean
+.PHONY: all build test check race workers vet fmt lint vet-self ignore-audit bench benchguard baseline telemetry chaos chaos-service serve-integration sweep golden fuzz clean
 
 all: check
 
@@ -79,15 +79,26 @@ serve-integration:
 	$(GO) build -o /tmp/lisi-serve ./cmd/lisi-serve
 	LISI_SERVE_BIN=/tmp/lisi-serve $(GO) test -race -count=1 -v -run TestServeBinary ./internal/service
 
+# sweep = CI's sweep-smoke leg: the accuracy/efficiency sweep over the
+# checked-in workload corpus (docs/WORKLOADS.md), report written next to
+# the repo root.
+sweep:
+	$(GO) run ./cmd/lisi-bench -sweep -corpus testdata/corpus -sweep-out sweep.json -sweep-md sweep.md
+
+# golden = the golden conformance suite. Regenerate the digests after an
+# intentional numerical change with make golden UPDATE=1.
+golden:
+	LISI_UPDATE_GOLDEN=$(UPDATE) $(GO) test -race -count=1 -v -run TestGoldenConformance ./internal/integration
+
 # fuzz = CI's smoke: each native fuzz target for FUZZTIME (seed corpora in
 # testdata/fuzz/ replay in every plain `go test` run regardless).
 FUZZTIME ?= 10s
 fuzz:
-	for t in FuzzCSRFromTriplets FuzzNewCSRValidation; do \
+	for t in FuzzCSRFromTriplets FuzzNewCSRValidation FuzzReadMatrixMarket; do \
 		$(GO) test -run='^$$' -fuzz="^$$t\$$" -fuzztime=$(FUZZTIME) ./internal/sparse || exit 1; done
 	for t in FuzzPartition FuzzGenerateRows; do \
 		$(GO) test -run='^$$' -fuzz="^$$t\$$" -fuzztime=$(FUZZTIME) ./internal/mesh || exit 1; done
 	$(GO) test -run='^$$' -fuzz='^FuzzLevels$$' -fuzztime=$(FUZZTIME) ./internal/par
 
 clean:
-	rm -f telemetry.json out.json
+	rm -f telemetry.json out.json sweep.json sweep.md

@@ -6,6 +6,14 @@
 //	lisi-bench -experiment table1 -quick   # reduced sizes for a fast smoke run
 //	lisi-bench -telemetry out.json         # instrumented CCA-vs-NonCCA attribution
 //	lisi-bench -experiment all -timeout 2m # bound the whole campaign
+//	lisi-bench -sweep -corpus testdata/corpus -sweep-out report.json
+//
+// -sweep runs the workload-corpus accuracy/efficiency sweep instead of
+// the paper experiments: {backend × preconditioner × format × problem
+// family} with true-residual accuracy columns. The complete table is
+// always printed and the JSON/Markdown reports always written; if any
+// cell failed to converge the process then exits with the distinct
+// status 3 — a typed failure, never a silently partial table.
 //
 // The -runs flag controls how many repetitions are averaged (the paper
 // used 10). With -telemetry, instrumented solves run for every backend
@@ -22,12 +30,14 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
 	"strconv"
+	"strings"
 
 	"repro/internal/bench"
 	"repro/internal/comm"
@@ -42,6 +52,9 @@ import (
 const (
 	exitTimeout   = 124
 	exitInterrupt = 130
+	// exitSweepFailed: the sweep completed and the full report was
+	// emitted, but at least one cell failed to converge.
+	exitSweepFailed = 3
 )
 
 func main() {
@@ -58,6 +71,12 @@ func main() {
 	faultSpec := flag.String("fault-spec", "",
 		"arm this deterministic fault-injection schedule on every measurement world "+
 			"(measures resilience overhead; timings are NOT comparable to fault-free runs)")
+	sweep := flag.Bool("sweep", false, "run the workload-corpus accuracy/efficiency sweep instead of the paper experiments")
+	corpus := flag.String("corpus", "testdata/corpus", "corpus directory of .mtx files for -sweep")
+	sweepOut := flag.String("sweep-out", "", "write the sweep JSON report here")
+	sweepMD := flag.String("sweep-md", "", "write the sweep Markdown report here")
+	sweepTol := flag.Float64("sweep-tol", 1e-8, "convergence tolerance for every sweep cell")
+	sweepMaxIts := flag.Int("sweep-maxits", 2000, "iteration cap for every sweep cell")
 	flag.Parse()
 
 	experimentSet := false
@@ -117,6 +136,11 @@ func main() {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
+	}
+
+	if *sweep {
+		runSweep(ctx, *corpus, *procs, *workers, *format, *sweepTol, *sweepMaxIts, *sweepOut, *sweepMD)
+		return
 	}
 
 	if *telemetryOut != "" {
@@ -201,6 +225,79 @@ func main() {
 				exitCancelled(err, len(pts))
 			}
 		}
+	}
+}
+
+// runSweep executes the workload-corpus sweep and exits the process
+// with the appropriate status: 0 when every cell converged, 3 when any
+// cell failed (after the complete table and reports are out), 124/130
+// on cancellation.
+func runSweep(ctx context.Context, corpusDir string, procs, workers int, format string, tol float64, maxIts int, outJSON, outMD string) {
+	families, err := bench.CorpusFamilies(corpusDir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+		os.Exit(1)
+	}
+	cfg := bench.DefaultSweepConfig()
+	cfg.Tol = tol
+	cfg.MaxIts = maxIts
+	if procs != 8 { // non-default: the user chose a count
+		cfg.Procs = procs
+	}
+	cfg.Workers = workers
+	if format != "" {
+		cfg.Formats = []string{format}
+	}
+	fmt.Printf("== Workload sweep: %d families, procs=%d, workers=%d, formats=%s, tol=%g, maxits=%d ==\n",
+		len(families), cfg.Procs, cfg.Workers, strings.Join(cfg.Formats, ","), cfg.Tol, cfg.MaxIts)
+	report, runErr := bench.RunSweep(ctx, families, cfg)
+
+	// The table and reports are emitted unconditionally — a failing
+	// sweep must never truncate its own evidence.
+	fmt.Println(bench.FormatSweepMarkdown(report))
+	if outJSON != "" {
+		writeSweepFile(outJSON, func(f *os.File) error {
+			enc := json.NewEncoder(f)
+			enc.SetIndent("", "  ")
+			return enc.Encode(report)
+		})
+		fmt.Fprintf(os.Stderr, "sweep JSON report written to %s\n", outJSON)
+	}
+	if outMD != "" {
+		writeSweepFile(outMD, func(f *os.File) error {
+			_, err := f.WriteString(bench.FormatSweepMarkdown(report))
+			return err
+		})
+		fmt.Fprintf(os.Stderr, "sweep Markdown report written to %s\n", outMD)
+	}
+	if runErr != nil {
+		if cancelled(runErr) {
+			exitCancelled(runErr, len(report.Cells))
+		}
+		fmt.Fprintf(os.Stderr, "sweep: %v\n", runErr)
+		os.Exit(1)
+	}
+	if failed := report.Failed(); len(failed) > 0 {
+		fmt.Fprintf(os.Stderr, "sweep: %d of %d cell(s) failed to converge: %s\n",
+			len(failed), len(report.Cells), strings.Join(failed, ", "))
+		os.Exit(exitSweepFailed)
+	}
+}
+
+func writeSweepFile(path string, write func(*os.File) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 }
 

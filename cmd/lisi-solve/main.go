@@ -6,10 +6,13 @@
 //	lisi-solve -matrix A.mtx -solver superlu -procs 4 -out x.vec
 //	lisi-solve -matrix A.mtx -solver trilinos -timeout 30s
 //
-// The matrix is Matrix-Market-style coordinate text (as written by
-// sparse.WriteCOO / cmd/meshgen); the right-hand side defaults to all
-// ones when -rhs is omitted. The global system is block-row partitioned
-// over -procs simulated ranks and pushed through the SparseSolver port.
+// The matrix is a Matrix Market file (coordinate or array format,
+// real/integer field, general or symmetric storage — symmetric files
+// are expanded to the full operator) or the legacy banner-less
+// coordinate text written by sparse.WriteCOO / cmd/meshgen; the
+// right-hand side defaults to all ones when -rhs is omitted. The
+// global system is block-row partitioned over -procs simulated ranks
+// and pushed through the SparseSolver port.
 //
 // The solver backend is resolved by name from the core registry — any
 // registered backend works with no code change here. -timeout bounds
@@ -94,12 +97,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	coo, err := sparse.ReadCOO(mf)
+	a, err := sparse.ReadMatrixAuto(mf)
 	mf.Close()
 	if err != nil {
 		log.Fatal(err)
 	}
-	a := coo.ToCSR()
 	if a.Rows != a.Cols {
 		log.Fatalf("matrix is %dx%d; LISI systems are square", a.Rows, a.Cols)
 	}

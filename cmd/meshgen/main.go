@@ -6,24 +6,79 @@
 //
 //	meshgen -n 200 -procs 8 -dir ./meshdata
 //	meshgen -n 200 -procs 8 -dir ./meshdata -verify
+//
+// With -corpus it instead regenerates the checked-in workload-corpus
+// Matrix Market fixtures (testdata/corpus) and exits — the executable
+// provenance of the golden conformance suite:
+//
+//	meshgen -corpus testdata/corpus
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"path/filepath"
 
 	"repro/internal/comm"
 	"repro/internal/mesh"
 	"repro/internal/pmat"
+	"repro/internal/sparse"
 )
+
+// writeCorpus writes the canonical corpus fixtures. Every generator
+// call is deterministic, so rerunning reproduces the checked-in files
+// byte for byte.
+func writeCorpus(dir string) error {
+	fem, _, err := mesh.DefaultFEMProblem(4, 7).GenerateGlobal()
+	if err != nil {
+		return err
+	}
+	fixtures := []struct {
+		name string
+		m    sparse.Matrix
+		sym  sparse.MMSymmetry
+	}{
+		{"lap49_sym.mtx", sparse.Laplace2D(7, 7), sparse.MMSymmetric},
+		{"dd40_gen.mtx", sparse.RandomDiagDominant(40, 5, 2026), sparse.MMGeneral},
+		{"fem27_sym.mtx", fem, sparse.MMSymmetric},
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, fx := range fixtures {
+		f, err := os.Create(filepath.Join(dir, fx.name))
+		if err != nil {
+			return err
+		}
+		if err := sparse.WriteMatrixMarket(f, fx.m, fx.sym); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		rows, cols := fx.m.Dims()
+		fmt.Printf("wrote %s: %dx%d %s\n", filepath.Join(dir, fx.name), rows, cols, fx.sym)
+	}
+	return nil
+}
 
 func main() {
 	n := flag.Int("n", 200, "grid size (n x n interior points)")
 	procs := flag.Int("procs", 8, "number of block-row partitions (one file pair per rank)")
 	dir := flag.String("dir", "meshdata", "output directory")
 	verify := flag.Bool("verify", false, "read the files back and verify them")
+	corpus := flag.String("corpus", "", "regenerate the workload-corpus .mtx fixtures into this directory and exit")
 	flag.Parse()
+
+	if *corpus != "" {
+		if err := writeCorpus(*corpus); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	problem := mesh.PaperProblem(*n)
 	world, err := comm.NewWorld(*procs)

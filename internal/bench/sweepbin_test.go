@@ -1,0 +1,126 @@
+package bench_test
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+// sweepBinary resolves the lisi-bench binary for black-box tests: the
+// LISI_BENCH_BIN env (set by the sweep-smoke CI job), or a one-off
+// `go build` into the test's temp dir so plain `go test ./...` still
+// exercises the real process boundary.
+func sweepBinary(t *testing.T) string {
+	t.Helper()
+	if bin := os.Getenv("LISI_BENCH_BIN"); bin != "" {
+		return bin
+	}
+	bin := filepath.Join(t.TempDir(), "lisi-bench")
+	cmd := exec.Command("go", "build", "-o", bin, "repro/cmd/lisi-bench")
+	cmd.Dir = "../.."
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building lisi-bench: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// runSweepBinary executes one black-box sweep and returns the exit
+// code and decoded JSON report.
+func runSweepBinary(t *testing.T, bin string, extra ...string) (int, map[string]any) {
+	t.Helper()
+	out := filepath.Join(t.TempDir(), "report.json")
+	corpus, err := filepath.Abs("../../testdata/corpus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	args := append([]string{"-sweep", "-corpus", corpus, "-sweep-out", out}, extra...)
+	cmd := exec.Command(bin, args...)
+	combined, runErr := cmd.CombinedOutput()
+	code := 0
+	if runErr != nil {
+		var ee *exec.ExitError
+		if !errors.As(runErr, &ee) {
+			t.Fatalf("running %s %v: %v\n%s", bin, args, runErr, combined)
+		}
+		code = ee.ExitCode()
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatalf("exit %d but no JSON report: %v\n%s", code, err, combined)
+	}
+	var report map[string]any
+	if err := json.Unmarshal(raw, &report); err != nil {
+		t.Fatalf("decoding report: %v", err)
+	}
+	return code, report
+}
+
+// TestSweepBinary is the black-box companion of TestServeBinary for
+// the bench CLI: a corpus sweep must exit 0 with a schema-valid
+// report, and a sweep with an unconvergeable budget must exit with the
+// distinct status 3 while still writing the complete report — a typed
+// failure, never a silently partial table.
+func TestSweepBinary(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the real binary; skipped with -short")
+	}
+	bin := sweepBinary(t)
+
+	code, report := runSweepBinary(t, bin)
+	if code != 0 {
+		t.Fatalf("healthy sweep exited %d", code)
+	}
+	if got := report["schema"]; got != bench.SweepSchema {
+		t.Fatalf("schema %v, want %q", got, bench.SweepSchema)
+	}
+	families := report["families"].([]any)
+	if len(families) < 3 {
+		t.Fatalf("%d families, want >= 3", len(families))
+	}
+	cells := report["cells"].([]any)
+	backends := map[string]bool{}
+	for _, raw := range cells {
+		c := raw.(map[string]any)
+		backends[c["backend"].(string)] = true
+		if c["converged"] != true {
+			t.Fatalf("cell %v/%v not converged in the healthy sweep", c["family"], c["backend"])
+		}
+		if _, ok := c["true_residual"].(float64); !ok {
+			t.Fatalf("cell %v/%v lacks the true-residual accuracy column", c["family"], c["backend"])
+		}
+	}
+	if len(backends) < 4 {
+		t.Fatalf("sweep covered backends %v, want all 4", backends)
+	}
+	healthyCells := len(cells)
+
+	// One GMRES iteration at 1e-14 cannot converge: distinct exit 3,
+	// and the report still holds every cell.
+	code, report = runSweepBinary(t, bin, "-sweep-maxits", "1", "-sweep-tol", "1e-14")
+	if code != 3 {
+		t.Fatalf("unconvergeable sweep exited %d, want 3", code)
+	}
+	cells = report["cells"].([]any)
+	if len(cells) != healthyCells {
+		t.Fatalf("failing sweep reported %d cells, healthy sweep %d — the table must stay complete",
+			len(cells), healthyCells)
+	}
+	sawFailure := false
+	for _, raw := range cells {
+		c := raw.(map[string]any)
+		if c["converged"] == false {
+			sawFailure = true
+			if reason, _ := c["fail_reason"].(string); reason == "" {
+				t.Fatalf("unconverged cell %v/%v has no typed fail reason", c["family"], c["backend"])
+			}
+		}
+	}
+	if !sawFailure {
+		t.Fatal("no unconverged cells despite maxits=1 tol=1e-14")
+	}
+}

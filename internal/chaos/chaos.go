@@ -19,6 +19,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/mesh"
 	"repro/internal/pmat"
+	"repro/internal/sparse"
 )
 
 // Outcome classifies how a chaos run ended.
@@ -48,6 +49,12 @@ type Config struct {
 	Procs int
 	// GridN sizes the §8[a] model problem (mesh.PaperProblem).
 	GridN int
+	// Matrix, when non-nil, replaces the model problem with an explicit
+	// global operator (e.g. ingested from a Matrix Market file): each
+	// rank takes its block-row slice and GridN is ignored. RHS is the
+	// global right-hand side; nil means all ones.
+	Matrix *sparse.CSR
+	RHS    []float64
 	// Params are the LISI parameters for the backend.
 	Params map[string]string
 	// Failover is the session's failover chain (may be empty).
@@ -99,6 +106,16 @@ func Run(cfg Config) (Result, error) {
 		cfg.Deadline = 60 * time.Second
 	}
 	p := mesh.PaperProblem(cfg.GridN)
+	n := p.N()
+	if cfg.Matrix != nil {
+		if cfg.Matrix.Rows != cfg.Matrix.Cols {
+			return Result{}, fmt.Errorf("chaos: explicit operator is %dx%d, not square", cfg.Matrix.Rows, cfg.Matrix.Cols)
+		}
+		n = cfg.Matrix.Rows
+		if cfg.RHS != nil && len(cfg.RHS) != n {
+			return Result{}, fmt.Errorf("chaos: rhs has %d values for a %dx%d operator", len(cfg.RHS), n, n)
+		}
+	}
 	w, err := comm.NewWorld(cfg.Procs)
 	if err != nil {
 		return Result{}, err
@@ -119,13 +136,23 @@ func Run(cfg Config) (Result, error) {
 	runErr := w.RunContext(ctx, func(c *comm.Comm) {
 		e := &ends[c.Rank()]
 		e.residual = -1
-		l, err := pmat.EvenLayout(c, p.N())
+		l, err := pmat.EvenLayout(c, n)
 		if err != nil {
 			e.setupErr = err
 			return
 		}
-		a, b, err := p.GenerateLocal(l)
-		if err != nil {
+		var a *sparse.CSR
+		var b []float64
+		if cfg.Matrix != nil {
+			a = cfg.Matrix.SubMatrix(l.Start, l.Start+l.LocalN)
+			b = make([]float64, l.LocalN)
+			for i := range b {
+				b[i] = 1
+			}
+			if cfg.RHS != nil {
+				copy(b, cfg.RHS[l.Start:l.Start+l.LocalN])
+			}
+		} else if a, b, err = p.GenerateLocal(l); err != nil {
 			e.setupErr = err
 			return
 		}

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"math"
+	"os"
 	"testing"
 
 	"repro/internal/comm"
@@ -19,30 +20,80 @@ type solveTrace struct {
 	residuals []telemetry.ResidualPoint
 }
 
+// testSystem yields one global linear system for the determinism
+// tables. The constructors below cover every ingestion path a solve
+// can arrive through: the paper's 2-D model problem, a symmetric
+// stencil, the 3-D unstructured FEM generator, and a Matrix Market
+// corpus file.
+type testSystem func(t *testing.T) (*sparse.CSR, []float64)
+
+func paperSystem(gridN int) testSystem {
+	return func(t *testing.T) (*sparse.CSR, []float64) {
+		t.Helper()
+		a, rhs, err := mesh.PaperProblem(gridN).GenerateGlobal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return a, rhs
+	}
+}
+
+func laplaceSystem(gridN int) testSystem {
+	return func(t *testing.T) (*sparse.CSR, []float64) {
+		t.Helper()
+		a := sparse.Laplace2D(gridN, gridN)
+		return a, onesFor(a)
+	}
+}
+
+func femSystem(n int, seed int64) testSystem {
+	return func(t *testing.T) (*sparse.CSR, []float64) {
+		t.Helper()
+		a, rhs, err := mesh.DefaultFEMProblem(n, seed).GenerateGlobal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return a, rhs
+	}
+}
+
+func mmSystem(path string) testSystem {
+	return func(t *testing.T) (*sparse.CSR, []float64) {
+		t.Helper()
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		a, err := sparse.ReadMatrixMarket(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return a, onesFor(a)
+	}
+}
+
+func onesFor(a *sparse.CSR) []float64 {
+	rhs := make([]float64, a.Rows)
+	for i := range rhs {
+		rhs[i] = 1
+	}
+	return rhs
+}
+
 // solveWithWorkers runs one session solve of the given config with the
 // requested worker count and returns its trace.
-func solveWithWorkers(t *testing.T, c *comm.Comm, backend string, gridN int, symmetric bool, params map[string]string, workers int) solveTrace {
+func solveWithWorkers(t *testing.T, c *comm.Comm, backend string, sys testSystem, params map[string]string, workers int) solveTrace {
 	t.Helper()
-	return solveConfigured(t, c, backend, gridN, symmetric, params, workers, "")
+	return solveConfigured(t, c, backend, sys, params, workers, "")
 }
 
 // solveConfigured runs one session solve with the requested worker
 // count and SpMV format selection and returns its trace.
-func solveConfigured(t *testing.T, c *comm.Comm, backend string, gridN int, symmetric bool, params map[string]string, workers int, format string) solveTrace {
+func solveConfigured(t *testing.T, c *comm.Comm, backend string, sys testSystem, params map[string]string, workers int, format string) solveTrace {
 	t.Helper()
-	p := mesh.PaperProblem(gridN)
-	a, rhs, err := p.GenerateGlobal()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if symmetric {
-		a = sparse.Laplace2D(gridN, gridN)
-		rhs = make([]float64, p.N())
-		for i := range rhs {
-			rhs[i] = 1
-		}
-	}
-	l, err := pmat.EvenLayout(c, p.N())
+	a, rhs := sys(t)
+	l, err := pmat.EvenLayout(c, a.Rows)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,6 +126,30 @@ func solveConfigured(t *testing.T, c *comm.Comm, backend string, gridN int, symm
 	return tr
 }
 
+// determinismTable is the backend × operator matrix both bitwise
+// contracts run over. Beyond the model problems it pins one
+// FEM-generated and one Matrix-Market-ingested operator: determinism
+// must not depend on where the system came from.
+var determinismTable = []struct {
+	name    string
+	backend string
+	sys     testSystem
+	params  map[string]string
+}{
+	{"superlu", "superlu", paperSystem(12), map[string]string{"refine_steps": "1"}},
+	{"petsc-cg", "petsc", laplaceSystem(12), map[string]string{
+		"solver": "cg", "preconditioner": "jacobi", "tol": "1e-8", "maxits": "400"}},
+	{"petsc-gmres", "petsc", paperSystem(12), map[string]string{
+		"solver": "gmres", "preconditioner": "bjacobi", "tol": "1e-8", "maxits": "400", "restart": "30"}},
+	{"trilinos-bicgstab", "trilinos", paperSystem(12), map[string]string{
+		"solver": "bicgstab", "preconditioner": "ilut", "tol": "1e-8"}},
+	{"mg", "mg", paperSystem(15), map[string]string{"grid_n": "15", "tol": "1e-8"}},
+	{"petsc-cg-fem", "petsc", femSystem(5, 7), map[string]string{
+		"solver": "cg", "preconditioner": "jacobi", "tol": "1e-8", "maxits": "400"}},
+	{"trilinos-gmres-mm", "trilinos", mmSystem("../../testdata/corpus/dd40_gen.mtx"), map[string]string{
+		"solver": "gmres", "preconditioner": "jacobi", "tol": "1e-8", "maxits": "400"}},
+}
+
 // TestSolveBitwiseDeterministicAcrossWorkers is the determinism
 // property test of the two-level parallelism model: for every backend
 // config, Session.Solve must produce byte-identical residual histories
@@ -82,30 +157,15 @@ func solveConfigured(t *testing.T, c *comm.Comm, backend string, gridN int, symm
 // contract that makes the worker count a pure performance knob — run
 // it under -race to also exercise the pool's synchronization.
 func TestSolveBitwiseDeterministicAcrossWorkers(t *testing.T) {
-	for _, tc := range []struct {
-		name      string
-		backend   string
-		gridN     int
-		symmetric bool
-		params    map[string]string
-	}{
-		{"superlu", "superlu", 12, false, map[string]string{"refine_steps": "1"}},
-		{"petsc-cg", "petsc", 12, true, map[string]string{
-			"solver": "cg", "preconditioner": "jacobi", "tol": "1e-8", "maxits": "400"}},
-		{"petsc-gmres", "petsc", 12, false, map[string]string{
-			"solver": "gmres", "preconditioner": "bjacobi", "tol": "1e-8", "maxits": "400", "restart": "30"}},
-		{"trilinos-bicgstab", "trilinos", 12, false, map[string]string{
-			"solver": "bicgstab", "preconditioner": "ilut", "tol": "1e-8"}},
-		{"mg", "mg", 15, false, map[string]string{"grid_n": "15", "tol": "1e-8"}},
-	} {
+	for _, tc := range determinismTable {
 		t.Run(tc.name, func(t *testing.T) {
 			run(t, 1, func(c *comm.Comm) {
-				ref := solveWithWorkers(t, c, tc.backend, tc.gridN, tc.symmetric, tc.params, 1)
+				ref := solveWithWorkers(t, c, tc.backend, tc.sys, tc.params, 1)
 				if len(ref.residuals) == 0 && tc.backend != "superlu" {
 					t.Fatalf("reference solve recorded no residual history")
 				}
 				for _, w := range []int{2, 4, 7} {
-					got := solveWithWorkers(t, c, tc.backend, tc.gridN, tc.symmetric, tc.params, w)
+					got := solveWithWorkers(t, c, tc.backend, tc.sys, tc.params, w)
 					if len(got.residuals) != len(ref.residuals) {
 						t.Fatalf("workers=%d: residual history has %d points, workers=1 has %d",
 							w, len(got.residuals), len(ref.residuals))
@@ -137,28 +197,13 @@ func TestSolveBitwiseDeterministicAcrossWorkers(t *testing.T) {
 // pooled execution. This is what lets the autotuner bind whatever wins
 // the probe — per rank, per matrix — without any reproducibility cost.
 func TestSolveBitwiseDeterministicAcrossFormats(t *testing.T) {
-	for _, tc := range []struct {
-		name      string
-		backend   string
-		gridN     int
-		symmetric bool
-		params    map[string]string
-	}{
-		{"superlu", "superlu", 12, false, map[string]string{"refine_steps": "1"}},
-		{"petsc-cg", "petsc", 12, true, map[string]string{
-			"solver": "cg", "preconditioner": "jacobi", "tol": "1e-8", "maxits": "400"}},
-		{"petsc-gmres", "petsc", 12, false, map[string]string{
-			"solver": "gmres", "preconditioner": "bjacobi", "tol": "1e-8", "maxits": "400", "restart": "30"}},
-		{"trilinos-bicgstab", "trilinos", 12, false, map[string]string{
-			"solver": "bicgstab", "preconditioner": "ilut", "tol": "1e-8"}},
-		{"mg", "mg", 15, false, map[string]string{"grid_n": "15", "tol": "1e-8"}},
-	} {
+	for _, tc := range determinismTable {
 		t.Run(tc.name, func(t *testing.T) {
 			run(t, 1, func(c *comm.Comm) {
-				ref := solveConfigured(t, c, tc.backend, tc.gridN, tc.symmetric, tc.params, 1, "csr")
+				ref := solveConfigured(t, c, tc.backend, tc.sys, tc.params, 1, "csr")
 				for _, format := range []string{"auto", "msr", "sell", "bcsr"} {
 					for _, w := range []int{1, 4} {
-						got := solveConfigured(t, c, tc.backend, tc.gridN, tc.symmetric, tc.params, w, format)
+						got := solveConfigured(t, c, tc.backend, tc.sys, tc.params, w, format)
 						if len(got.residuals) != len(ref.residuals) {
 							t.Fatalf("format=%s workers=%d: residual history has %d points, reference has %d",
 								format, w, len(got.residuals), len(ref.residuals))

@@ -1,0 +1,54 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/pmat"
+	"repro/internal/sparse"
+)
+
+// BenchmarkMMIngestSetup measures the exchange-format adoption path
+// end to end: parse a Matrix Market body and stage the parsed operator
+// into a warm session. scripts/benchguard.sh gates both ns/op and
+// allocs/op — the parse dominates, and its allocation count is
+// deterministic for a fixed corpus matrix.
+func BenchmarkMMIngestSetup(b *testing.B) {
+	var body bytes.Buffer
+	if err := sparse.WriteMatrixMarket(&body, sparse.Laplace2D(32, 32), sparse.MMSymmetric); err != nil {
+		b.Fatal(err)
+	}
+	raw := body.Bytes()
+	w, err := comm.NewWorld(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	runErr := w.Run(func(c *comm.Comm) {
+		s, err := OpenSession("petsc", c, SessionOptions{Params: map[string]string{
+			"solver": "gmres", "preconditioner": "jacobi", "tol": "1e-8", "maxits": "500"}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer s.Close()
+		b.SetBytes(int64(len(raw)))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			a, err := sparse.ReadMatrixMarket(bytes.NewReader(raw))
+			if err != nil {
+				b.Fatal(err)
+			}
+			l, err := pmat.EvenLayout(c, a.Rows)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := s.Setup(l, a); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	if runErr != nil {
+		b.Fatal(runErr)
+	}
+}

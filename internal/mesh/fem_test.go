@@ -1,0 +1,169 @@
+package mesh
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sparse"
+)
+
+// TestFEMPartitionInvariance pins the distributed-assembly contract:
+// every rank's block rows are bitwise identical to the corresponding
+// slice of the serial assembly, for any processor count.
+func TestFEMPartitionInvariance(t *testing.T) {
+	p := DefaultFEMProblem(4, 7)
+	global, bGlobal, err := p.GenerateGlobal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := p.N()
+	if global.Rows != n || global.Cols != n {
+		t.Fatalf("global is %dx%d, want %dx%d", global.Rows, global.Cols, n, n)
+	}
+	for _, parts := range []int{2, 3, 5, 8} {
+		starts, err := PartitionRows(n, parts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for rank := 0; rank < parts; rank++ {
+			r0, r1 := starts[rank], starts[rank+1]
+			local, bLocal, err := p.GenerateRows(r0, r1)
+			if err != nil {
+				t.Fatalf("parts=%d rank=%d: %v", parts, rank, err)
+			}
+			want := global.SubMatrix(r0, r1)
+			if !local.Equal(want) {
+				t.Fatalf("parts=%d rank=%d: block rows [%d,%d) differ bitwise from serial assembly",
+					parts, rank, r0, r1)
+			}
+			for k := range bLocal {
+				if math.Float64bits(bLocal[k]) != math.Float64bits(bGlobal[r0+k]) {
+					t.Fatalf("parts=%d rank=%d: load vector entry %d differs bitwise", parts, rank, r0+k)
+				}
+			}
+		}
+	}
+}
+
+// TestFEMBitwiseSymmetric: the jittered stiffness matrix is bitwise
+// symmetric (not merely up to rounding), which lets corpus fixtures
+// use Matrix Market symmetric storage.
+func TestFEMBitwiseSymmetric(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		a, _, err := DefaultFEMProblem(5, seed).GenerateGlobal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !a.Equal(a.Transpose()) {
+			t.Fatalf("seed %d: stiffness matrix is not bitwise symmetric", seed)
+		}
+	}
+}
+
+// TestFEMDeterministic: same parameters give bit-identical operators;
+// a different seed gives a different mesh.
+func TestFEMDeterministic(t *testing.T) {
+	a1, b1, err := DefaultFEMProblem(4, 11).GenerateGlobal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, b2, err := DefaultFEMProblem(4, 11).GenerateGlobal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a1.Equal(a2) {
+		t.Fatal("identical parameters produced different operators")
+	}
+	for k := range b1 {
+		if math.Float64bits(b1[k]) != math.Float64bits(b2[k]) {
+			t.Fatalf("identical parameters produced different loads at %d", k)
+		}
+	}
+	a3, _, err := DefaultFEMProblem(4, 12).GenerateGlobal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1.Equal(a3) {
+		t.Fatal("different seeds produced bitwise-identical operators")
+	}
+}
+
+// TestFEMOperatorQuality: the structured (jitter-free) operator has
+// zero row sums over full stencils (gradient of a constant vanishes),
+// and jittered operators stay positive definite in the sampled sense.
+func TestFEMOperatorQuality(t *testing.T) {
+	p := FEMProblem{Nx: 6, Ny: 6, Nz: 6, Seed: 0, Jitter: 0}
+	a, _, err := p.GenerateGlobal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Row of the center node: all 27 lattice neighbors are interior, so
+	// the full partition-of-unity cancellation applies.
+	row, ok := p.interior(3, 3, 3)
+	if !ok {
+		t.Fatal("center node not interior")
+	}
+	sum := 0.0
+	full := 0
+	for k := a.RowPtr[row]; k < a.RowPtr[row+1]; k++ {
+		sum += a.Vals[k]
+		full++
+	}
+	if math.Abs(sum) > 1e-10 {
+		t.Fatalf("center row sums to %g, want ~0 over %d entries", sum, full)
+	}
+	if a.At(row, row) <= 0 {
+		t.Fatalf("diagonal %g not positive", a.At(row, row))
+	}
+
+	// Jittered: x'Ax > 0 for a few deterministic vectors.
+	j, _, err := DefaultFEMProblem(5, 3).GenerateGlobal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := j.Rows
+	y := make([]float64, n)
+	for _, seed := range []int64{1, 2, 3} {
+		x := sparse.RandomVector(n, seed)
+		j.MulVec(y, x)
+		if q := sparse.Dot(x, y); q <= 0 {
+			t.Fatalf("seed %d: x'Ax = %g, operator not positive definite", seed, q)
+		}
+	}
+}
+
+// TestFEMValidation: bad parameters and row ranges are errors, not
+// panics or silent misassembly.
+func TestFEMValidation(t *testing.T) {
+	if _, _, err := (FEMProblem{Nx: 1, Ny: 4, Nz: 4}).GenerateGlobal(); err == nil {
+		t.Fatal("Nx=1 accepted")
+	}
+	if _, _, err := (FEMProblem{Nx: 4, Ny: 4, Nz: 4, Jitter: 0.9}).GenerateGlobal(); err == nil {
+		t.Fatal("jitter 0.9 accepted")
+	}
+	if _, _, err := (FEMProblem{Nx: 4, Ny: 4, Nz: 4, Jitter: -0.1}).GenerateGlobal(); err == nil {
+		t.Fatal("negative jitter accepted")
+	}
+	p := DefaultFEMProblem(4, 1)
+	if _, _, err := p.GenerateRows(-1, 2); err == nil {
+		t.Fatal("negative row range accepted")
+	}
+	if _, _, err := p.GenerateRows(0, p.N()+1); err == nil {
+		t.Fatal("overlong row range accepted")
+	}
+}
+
+// BenchmarkFEMAssembly gates FEM assembly throughput (benchguard).
+func BenchmarkFEMAssembly(b *testing.B) {
+	p := DefaultFEMProblem(10, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		a, _, err := p.GenerateGlobal()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if a.Rows != p.N() {
+			b.Fatal("bad assembly")
+		}
+	}
+}

@@ -127,6 +127,12 @@ type OperatorRef struct {
 	GridN int `json:"grid_n,omitempty"`
 	// Matrix is an explicit global CSR operator (exclusive with GridN).
 	Matrix *MatrixPayload `json:"matrix,omitempty"`
+	// MatrixMarket is a Matrix Market (.mtx) file, verbatim — the
+	// exchange-format ingestion path (exclusive with GridN and Matrix).
+	// Coordinate/array formats with real/integer fields and
+	// general/symmetric storage are accepted; pattern and complex
+	// files are rejected as bad requests.
+	MatrixMarket string `json:"matrix_market,omitempty"`
 }
 
 // SolveRequest is the body of POST /v1/solve.

@@ -489,6 +489,10 @@ func operatorConflict(req *SolveRequest, spec *entrySpec) *Error {
 		return errf(CodeOperatorConflict, 409, false,
 			"operator %s@%d is pooled with a different operator body; bump operator.version",
 			req.Operator.ID, req.Operator.Version)
+	case req.Operator.MatrixMarket != "" && spec.matrix == nil:
+		return errf(CodeOperatorConflict, 409, false,
+			"operator %s@%d is pooled with grid_n=%d, request carries a matrix_market body; bump operator.version",
+			req.Operator.ID, req.Operator.Version, spec.gridN)
 	}
 	return nil
 }
@@ -554,6 +558,23 @@ func (s *Service) buildSpec(req *SolveRequest) (entrySpec, *Error) {
 		}
 		spec.matrix = a
 		spec.n = m.N
+	case req.Operator.MatrixMarket != "":
+		a, err := sparse.ReadMatrixMarket(strings.NewReader(req.Operator.MatrixMarket))
+		if err != nil {
+			return spec, errf(CodeBadRequest, 400, false, "operator matrix_market: %v", err)
+		}
+		if a.Rows != a.Cols {
+			return spec, errf(CodeBadRequest, 400, false,
+				"operator matrix_market: %dx%d matrix is not square", a.Rows, a.Cols)
+		}
+		// validate() cannot size an unparsed .mtx body, so the unknown
+		// cap is enforced here, after the (64MB-bounded) parse.
+		if a.Rows > s.cfg.MaxUnknowns {
+			return spec, errf(CodeBadRequest, 400, false,
+				"system dimension %d exceeds the limit %d", a.Rows, s.cfg.MaxUnknowns)
+		}
+		spec.matrix = a
+		spec.n = a.Rows
 	default:
 		return spec, errf(CodeOperatorMissing, 409, false,
 			"operator %s@%d is not pooled; the first request must carry operator.matrix or operator.grid_n",
@@ -715,6 +736,9 @@ func (s *Service) validate(req *SolveRequest) *Error {
 	}
 	if req.Operator.GridN > 0 && req.Operator.Matrix != nil {
 		return errf(CodeBadRequest, 400, false, "operator.grid_n and operator.matrix are exclusive")
+	}
+	if req.Operator.MatrixMarket != "" && (req.Operator.GridN > 0 || req.Operator.Matrix != nil) {
+		return errf(CodeBadRequest, 400, false, "operator.matrix_market is exclusive with grid_n and matrix")
 	}
 	if req.NRHS < 0 || req.nrhs() > s.cfg.MaxNRHS {
 		return errf(CodeBadRequest, 400, false, "nrhs %d outside [1,%d]", req.NRHS, s.cfg.MaxNRHS)

@@ -575,3 +575,120 @@ func TestServiceErrorString(t *testing.T) {
 		t.Fatalf("Error() = %q", serr.Error())
 	}
 }
+
+// mmBody renders a matrix as a verbatim Matrix Market file body — the
+// exchange-format ingestion path of the operator spec.
+func mmBody(t *testing.T, a *sparse.CSR, sym sparse.MMSymmetry) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := sparse.WriteMatrixMarket(&buf, a, sym); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// TestServiceMatrixMarketOperator: a request may carry the operator as
+// a verbatim .mtx body. Symmetric storage is expanded server-side, the
+// solve converges against the expanded operator, and later requests
+// ride the pooled session without resending the file.
+func TestServiceMatrixMarketOperator(t *testing.T) {
+	a := sparse.Laplace2D(7, 7)
+	svc := newTestService(t, service.Config{})
+	req := &service.SolveRequest{
+		Tenant:  "acme",
+		Backend: "petsc",
+		Params:  gmresParams(),
+		Procs:   2,
+		Operator: service.OperatorRef{
+			ID: "mtx", Version: 1,
+			MatrixMarket: mmBody(t, a, sparse.MMSymmetric),
+		},
+		ReturnSolution: true,
+	}
+	var resp service.SolveResponse
+	if serr := svc.Solve(context.Background(), req, &resp); serr != nil {
+		t.Fatal(serr)
+	}
+	if !resp.Converged {
+		t.Fatalf("not converged: %+v", resp)
+	}
+	b := make([]float64, a.Rows)
+	for i := range b {
+		b[i] = 1
+	}
+	r := a.Residual(b, resp.Solution)
+	if rel := sparse.Norm2(r) / sparse.Norm2(b); rel > 1e-6 {
+		t.Fatalf("relative residual %.3e against the expanded operator", rel)
+	}
+
+	thin := &service.SolveRequest{
+		Tenant: "acme", Backend: "petsc", Params: gmresParams(), Procs: 2,
+		Operator: service.OperatorRef{ID: "mtx", Version: 1},
+	}
+	var resp2 service.SolveResponse
+	if serr := svc.Solve(context.Background(), thin, &resp2); serr != nil {
+		t.Fatal(serr)
+	}
+	if !resp2.SessionReused || !resp2.Converged {
+		t.Fatalf("thin request: reused=%v converged=%v", resp2.SessionReused, resp2.Converged)
+	}
+}
+
+// TestServiceMatrixMarketRejections: malformed, pattern, non-square
+// and ambiguous operator bodies are typed 400s; an .mtx body colliding
+// with a pooled grid operator under the same id@version is a typed 409.
+func TestServiceMatrixMarketRejections(t *testing.T) {
+	svc := newTestService(t, service.Config{})
+	mmReq := func(body string) *service.SolveRequest {
+		return &service.SolveRequest{
+			Tenant: "acme", Backend: "petsc", Params: gmresParams(),
+			Operator: service.OperatorRef{ID: "bad", Version: 1, MatrixMarket: body},
+		}
+	}
+	cases := []struct {
+		name string
+		req  *service.SolveRequest
+		code string
+	}{
+		{"pattern field", mmReq("%%MatrixMarket matrix coordinate pattern general\n2 2 2\n1 1\n2 2\n"), service.CodeBadRequest},
+		{"malformed header", mmReq("%%MatrixMarket tensor coordinate real general\n1 1 1\n1 1 1\n"), service.CodeBadRequest},
+		{"non-square", mmReq("%%MatrixMarket matrix coordinate real general\n2 3 1\n1 1 1.0\n"), service.CodeBadRequest},
+		{"exclusive with grid_n", func() *service.SolveRequest {
+			r := mmReq("%%MatrixMarket matrix coordinate real general\n1 1 1\n1 1 1.0\n")
+			r.Operator.GridN = 4
+			return r
+		}(), service.CodeBadRequest},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var resp service.SolveResponse
+			serr := svc.Solve(context.Background(), tc.req, &resp)
+			if serr == nil {
+				t.Fatalf("expected a typed error, got %+v", resp)
+			}
+			if serr.Code != tc.code || serr.HTTPStatus() != 400 {
+				t.Fatalf("got %s/%d, want %s/400 (%v)", serr.Code, serr.HTTPStatus(), tc.code, serr)
+			}
+		})
+	}
+
+	// Pool a grid operator, then collide an .mtx body into its slot.
+	grid := gridReq("acme", 8)
+	grid.Operator.ID, grid.Operator.Version = "shared", 2
+	var resp service.SolveResponse
+	if serr := svc.Solve(context.Background(), grid, &resp); serr != nil {
+		t.Fatal(serr)
+	}
+	a := sparse.Tridiag(8, -1, 2, -1)
+	coll := &service.SolveRequest{
+		Tenant: "acme", Backend: "petsc", Params: gmresParams(),
+		Operator: service.OperatorRef{ID: "shared", Version: 2, MatrixMarket: mmBody(t, a, sparse.MMGeneral)},
+	}
+	serr := svc.Solve(context.Background(), coll, &resp)
+	if serr == nil {
+		t.Fatal("expected an operator conflict")
+	}
+	if serr.Code != service.CodeOperatorConflict || serr.HTTPStatus() != 409 {
+		t.Fatalf("got %s/%d, want %s/409", serr.Code, serr.HTTPStatus(), service.CodeOperatorConflict)
+	}
+}
